@@ -1,0 +1,132 @@
+// Command calibrate measures, for candidate generator settings, the
+// quantities the paper's evaluation shapes depend on - distance-0
+// precision (the profile floor), distance-1 precision at the sparsest and
+// densest targets, and single-link-type risk at distances 1-2 - so the
+// scaled-down auxiliary network can be tuned to reproduce the shapes of
+// Tables 1-4 (see DESIGN.md on why the raw profile cardinalities must
+// shrink with the auxiliary size).
+//
+// Usage:
+//
+//	calibrate -aux 50000 -target 1000 -yobspan 87,30,12 -bgdeg 1.6,4,6.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/hinpriv/dehin/internal/anonymize"
+	"github.com/hinpriv/dehin/internal/dehin"
+	"github.com/hinpriv/dehin/internal/hin"
+	"github.com/hinpriv/dehin/internal/randx"
+	"github.com/hinpriv/dehin/internal/risk"
+	"github.com/hinpriv/dehin/internal/tqq"
+)
+
+func main() {
+	var (
+		aux      = flag.Int("aux", 50000, "auxiliary users")
+		target   = flag.Int("target", 1000, "target size")
+		yobSpans = flag.String("yobspan", "87,30,12", "yob spans to sweep")
+		bgDegs   = flag.String("bgdeg", "1.6,4,6.5", "background avg out-degrees per link type to sweep")
+		seed     = flag.Uint64("seed", 1, "seed")
+	)
+	flag.Parse()
+
+	fmt.Printf("%-8s %-6s | %-7s %-7s %-7s | %-7s %-7s\n",
+		"yobspan", "bgdeg", "p(n=0)", "p@.001", "p@.01", "r_f(1)", "r_f(2)")
+	for _, ys := range parseList(*yobSpans) {
+		for _, bg := range parseList(*bgDegs) {
+			measure(*aux, *target, int(ys), bg, *seed)
+		}
+	}
+}
+
+func parseList(s string) []float64 {
+	var out []float64
+	for _, p := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "calibrate: bad value %q\n", p)
+			os.Exit(1)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func measure(aux, target, yobSpan int, bgDeg float64, seed uint64) {
+	start := time.Now()
+	cfg := tqq.DefaultConfig(aux, seed)
+	cfg.YearMax = cfg.YearMin + yobSpan - 1
+	cfg.BackgroundAvgOutDeg = bgDeg
+	cfg.Communities = []tqq.CommunitySpec{
+		{Size: target, Density: 0.001},
+		{Size: target, Density: 0.01},
+	}
+	ds, err := tqq.Generate(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	idx, err := dehin.NewIndex(ds.Graph, dehin.TQQProfile())
+	if err != nil {
+		fatal(err)
+	}
+	prec := func(ci, dist int) float64 {
+		tgt, err := tqq.CommunityTarget(ds, ci, randx.New(seed+7))
+		if err != nil {
+			fatal(err)
+		}
+		anon, err := anonymize.RandomizeIDs(tgt.Graph, seed+9)
+		if err != nil {
+			fatal(err)
+		}
+		truth := make([]hin.EntityID, len(anon.ToOrig))
+		for i, t0 := range anon.ToOrig {
+			truth[i] = tgt.Orig[t0]
+		}
+		a, err := dehin.NewAttack(ds.Graph, dehin.Config{
+			MaxDistance: dist,
+			Profile:     dehin.TQQProfile(),
+			SharedIndex: idx,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		res, err := a.Run(anon.Graph, truth)
+		if err != nil {
+			fatal(err)
+		}
+		return res.Precision
+	}
+	riskF := func(ci, dist int) float64 {
+		tgt, err := tqq.CommunityTarget(ds, ci, randx.New(seed+7))
+		if err != nil {
+			fatal(err)
+		}
+		f := ds.Graph.Schema().MustLinkTypeID(tqq.LinkFollow)
+		r, err := risk.NetworkRisk(tgt.Graph, risk.SignatureConfig{
+			MaxDistance: dist,
+			LinkTypes:   []hin.LinkTypeID{f},
+			EntityAttrs: []int{tqq.AttrNumTags},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		return r
+	}
+	fmt.Printf("%-8d %-6.1f | %-7.3f %-7.3f %-7.3f | %-7.3f %-7.3f  (%v)\n",
+		yobSpan, bgDeg,
+		prec(1, 0), prec(0, 1), prec(1, 1),
+		riskF(1, 1), riskF(1, 2),
+		time.Since(start).Round(time.Second))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "calibrate:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,115 @@
+// Command experiments regenerates the paper's tables and figures (and the
+// repository's ablations) on the synthetic t.qq substrate.
+//
+// Usage:
+//
+//	experiments -exp table2            # one experiment, full-scale params
+//	experiments -exp all -quick        # everything, reduced params
+//	experiments -list                  # show experiment ids
+//	experiments -exp table2 -aux 100000 -target 1000 -samples 3 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/hinpriv/dehin/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id or 'all'")
+		quick   = flag.Bool("quick", false, "use reduced parameters")
+		paper   = flag.Bool("paperscale", false, "use the large 50k-user configuration (hours on one core)")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		seed    = flag.Uint64("seed", 0, "override seed (0 keeps the default)")
+		aux     = flag.Int("aux", 0, "override auxiliary user count")
+		target  = flag.Int("target", 0, "override target graph size")
+		samples = flag.Int("samples", 0, "override samples per density")
+		dens    = flag.String("densities", "", "override densities, comma-separated")
+		par     = flag.Int("parallelism", 0, "attack parallelism (0 = all cores)")
+		outDir  = flag.String("out", "", "also write each table as CSV into this directory")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range experiments.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+	p := experiments.DefaultParams()
+	if *paper {
+		p = experiments.PaperScaleParams()
+	}
+	if *quick {
+		p = experiments.QuickParams()
+	}
+	if *seed != 0 {
+		p.Seed = *seed
+	}
+	if *aux != 0 {
+		p.AuxUsers = *aux
+	}
+	if *target != 0 {
+		p.TargetSize = *target
+	}
+	if *samples != 0 {
+		p.SamplesPerDensity = *samples
+	}
+	if *dens != "" {
+		p.Densities = nil
+		for _, s := range strings.Split(*dens, ",") {
+			d, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil {
+				fatalf("bad density %q: %v", s, err)
+			}
+			p.Densities = append(p.Densities, d)
+		}
+	}
+	p.Parallelism = *par
+
+	fmt.Printf("params: aux=%d target=%d samples/density=%d densities=%v distances=%v seed=%d\n\n",
+		p.AuxUsers, p.TargetSize, p.SamplesPerDensity, p.Densities, p.Distances, p.Seed)
+
+	start := time.Now()
+	var tables []*experiments.Table
+	var err error
+	streamed := *exp == "all"
+	if streamed {
+		tables, err = experiments.RunAllTo(os.Stdout, p)
+	} else {
+		tables, err = experiments.Run(*exp, p)
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if !streamed {
+		for _, t := range tables {
+			fmt.Println(t)
+		}
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatalf("%v", err)
+		}
+		for _, t := range tables {
+			path := filepath.Join(*outDir, t.Slug()+".csv")
+			if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+				fatalf("%v", err)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+	}
+	fmt.Printf("done in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "experiments: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,85 @@
+// Command hinrisk computes the privacy risk (Theorem 1) of a dataset on
+// disk, sweeping link-type subsets and neighbor distances like the paper's
+// Table 1.
+//
+// Usage:
+//
+//	hinrisk -data data/ -maxdistance 3
+//	hinrisk -data data/ -community 0 -maxdistance 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/hinpriv/dehin/internal/experiments"
+	"github.com/hinpriv/dehin/internal/hin"
+	"github.com/hinpriv/dehin/internal/randx"
+	"github.com/hinpriv/dehin/internal/risk"
+	"github.com/hinpriv/dehin/internal/tqq"
+)
+
+func main() {
+	var (
+		dataDir   = flag.String("data", "", "dataset directory (required)")
+		community = flag.Int("community", -1, "analyze a planted community instead of the whole graph")
+		maxDist   = flag.Int("maxdistance", 3, "largest max-distance to sweep")
+		seed      = flag.Uint64("seed", 1, "sampling seed")
+	)
+	flag.Parse()
+	if *dataDir == "" {
+		fatalf("-data is required")
+	}
+	ds, err := tqq.LoadDataset(*dataDir)
+	if err != nil {
+		fatalf("load: %v", err)
+	}
+	g := ds.Graph
+	if *community >= 0 {
+		tgt, err := tqq.CommunityTarget(ds, *community, randx.New(*seed))
+		if err != nil {
+			fatalf("community: %v", err)
+		}
+		g = tgt.Graph
+	}
+	den := "-"
+	if v, err := hin.Density(g); err == nil {
+		den = fmt.Sprintf("%.6f", v)
+	}
+	fmt.Printf("graph: %d users, %d edges, density %s\n\n", g.NumEntities(), g.NumEdgesTotal(), den)
+
+	r0, err := risk.NetworkRisk(g, risk.SignatureConfig{
+		MaxDistance: 0,
+		EntityAttrs: []int{tqq.AttrNumTags},
+	})
+	if err != nil {
+		fatalf("risk: %v", err)
+	}
+	fmt.Printf("distance 0 (profiles only): risk %.1f%%\n\n", r0*100)
+	fmt.Printf("%-10s", "subset")
+	for n := 1; n <= *maxDist; n++ {
+		fmt.Printf("  n=%d   ", n)
+	}
+	fmt.Println()
+	for _, s := range experiments.LinkSubsets(g.Schema()) {
+		fmt.Printf("%-10s", s.Name)
+		for n := 1; n <= *maxDist; n++ {
+			r, err := risk.NetworkRisk(g, risk.SignatureConfig{
+				MaxDistance: n,
+				LinkTypes:   s.Links,
+				EntityAttrs: []int{tqq.AttrNumTags},
+			})
+			if err != nil {
+				fatalf("risk: %v", err)
+			}
+			fmt.Printf("  %5.1f%%", r*100)
+		}
+		fmt.Println()
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "hinrisk: "+format+"\n", args...)
+	os.Exit(1)
+}

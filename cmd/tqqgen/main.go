@@ -1,0 +1,105 @@
+// Command tqqgen generates a synthetic t.qq-style dataset and writes it to
+// a directory in the KDD-Cup-like text layout (see internal/tqq).
+//
+// Usage:
+//
+//	tqqgen -out data/ -users 50000 -seed 1 \
+//	       -communities 1000x0.01,1000x0.005
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/hinpriv/dehin/internal/hin"
+	"github.com/hinpriv/dehin/internal/tqq"
+)
+
+func main() {
+	var (
+		out   = flag.String("out", "", "output directory (required)")
+		users = flag.Int("users", 10000, "number of users")
+		seed  = flag.Uint64("seed", 1, "generator seed")
+		comms = flag.String("communities", "", "planted communities as SIZExDENSITY, comma-separated")
+		grow  = flag.Bool("grow", false, "also write a grown auxiliary crawl under <out>/grown")
+		dot   = flag.Bool("dot", false, "also write the target network schema as <out>/schema.dot")
+	)
+	flag.Parse()
+	if *out == "" {
+		fatalf("-out is required")
+	}
+	cfg := tqq.DefaultConfig(*users, *seed)
+	if *comms != "" {
+		for _, part := range strings.Split(*comms, ",") {
+			sz, den, err := parseCommunity(part)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			cfg.Communities = append(cfg.Communities, tqq.CommunitySpec{Size: sz, Density: den})
+		}
+	}
+	d, err := tqq.Generate(cfg)
+	if err != nil {
+		fatalf("generate: %v", err)
+	}
+	if err := tqq.WriteDataset(d, *out); err != nil {
+		fatalf("write: %v", err)
+	}
+	den := "-"
+	if v, err := hin.Density(d.Graph); err == nil {
+		den = fmt.Sprintf("%.6f", v)
+	}
+	fmt.Printf("wrote %s: %d users, %d edges, density %s, %d communities, %d rec entries\n",
+		*out, d.Graph.NumEntities(), d.Graph.NumEdgesTotal(), den, len(d.Communities), len(d.Rec))
+
+	if *dot {
+		f, err := os.Create(*out + "/schema.dot")
+		if err != nil {
+			fatalf("schema.dot: %v", err)
+		}
+		if err := hin.WriteSchemaDOT(f, d.Graph.Schema()); err != nil {
+			f.Close()
+			fatalf("schema.dot: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("schema.dot: %v", err)
+		}
+		fmt.Printf("wrote %s/schema.dot\n", *out)
+	}
+
+	if *grow {
+		g, err := tqq.Grow(d, cfg, tqq.DefaultGrowth(*seed+1))
+		if err != nil {
+			fatalf("grow: %v", err)
+		}
+		dir := *out + "/grown"
+		if err := tqq.WriteDataset(g, dir); err != nil {
+			fatalf("write grown: %v", err)
+		}
+		fmt.Printf("wrote %s: %d users, %d edges\n", dir, g.Graph.NumEntities(), g.Graph.NumEdgesTotal())
+	}
+}
+
+func parseCommunity(s string) (int, float64, error) {
+	parts := strings.SplitN(strings.TrimSpace(s), "x", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("bad community %q, want SIZExDENSITY", s)
+	}
+	sz, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad community size %q: %v", parts[0], err)
+	}
+	den, err := strconv.ParseFloat(parts[1], 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad community density %q: %v", parts[1], err)
+	}
+	return sz, den, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tqqgen: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,160 @@
+// Bibliography: the library is not t.qq-specific. This example builds a
+// DBLP-style bibliographic heterogeneous information network from scratch
+// with the public hin API - Authors, Papers and Venues with their own
+// schema - projects it onto the author entity type along two meta paths
+// (co-authorship and shared-venue), and shows the same privacy-risk
+// machinery and DeHIN attack working on a completely different domain:
+// an "anonymized author dataset" falls to profile + co-authorship
+// structure.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/hinpriv/dehin/internal/anonymize"
+	"github.com/hinpriv/dehin/internal/dehin"
+	"github.com/hinpriv/dehin/internal/hin"
+	"github.com/hinpriv/dehin/internal/randx"
+	"github.com/hinpriv/dehin/internal/risk"
+)
+
+const (
+	attrStartYear = 0 // first publication year
+	attrPapers    = 1 // publication count
+)
+
+func main() {
+	schema := hin.MustSchema(
+		[]hin.EntityType{
+			{Name: "Author", Attrs: []string{"startyear", "papers"}},
+			{Name: "Paper"},
+			{Name: "Venue"},
+		},
+		[]hin.LinkType{
+			{Name: "writes", From: "Author", To: "Paper"},
+			{Name: "published_at", From: "Paper", To: "Venue"},
+		},
+	)
+
+	// Synthesize a small bibliographic world.
+	rng := randx.New(2014)
+	b := hin.NewBuilder(schema)
+	const nAuthors, nVenues, nPapers = 3000, 300, 6000
+	authors := make([]hin.EntityID, nAuthors)
+	for i := range authors {
+		authors[i] = b.AddEntity(0, fmt.Sprintf("author%04d", i),
+			int64(1980+rng.Intn(40)), int64(rng.LogUniformInt(1, 300)))
+	}
+	venues := make([]hin.EntityID, nVenues)
+	for i := range venues {
+		venues[i] = b.AddEntity(2, fmt.Sprintf("venue%02d", i))
+	}
+	venuePop, err := randx.NewAlias(randx.ZipfWeights(nVenues, 0.6))
+	if err != nil {
+		log.Fatal(err)
+	}
+	writes := schema.MustLinkTypeID("writes")
+	published := schema.MustLinkTypeID("published_at")
+	for p := 0; p < nPapers; p++ {
+		paper := b.AddEntity(1, fmt.Sprintf("paper%05d", p))
+		// 1-4 authors per paper, clustered so co-authorships repeat.
+		lead := rng.Intn(nAuthors)
+		coauthors := rng.IntRange(1, 4)
+		seen := map[int]bool{}
+		for a := 0; a < coauthors; a++ {
+			idx := lead + rng.Intn(20) - 10 // collaboration neighborhood
+			if idx < 0 {
+				idx += nAuthors
+			}
+			idx %= nAuthors
+			if seen[idx] {
+				continue
+			}
+			seen[idx] = true
+			if err := b.AddEdge(writes, authors[idx], paper, 1); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if err := b.AddEdge(published, paper, venues[venuePop.Sample(rng)], 1); err != nil {
+			log.Fatal(err)
+		}
+	}
+	world, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bibliographic network: %d entities, %d links\n", world.NumEntities(), world.NumEdgesTotal())
+
+	// Target network schema over authors: co-authorship strength and
+	// shared-venue strength, both short-circuited meta paths.
+	paths := []hin.MetaPath{
+		{Name: "coauthor", Steps: []hin.Step{{Link: "writes"}, {Link: "writes", Reverse: true}}},
+		{Name: "samevenue", Steps: []hin.Step{
+			{Link: "writes"}, {Link: "published_at"},
+			{Link: "published_at", Reverse: true}, {Link: "writes", Reverse: true},
+		}},
+	}
+	projected, _, err := hin.ProjectGraph(world, "Author", paths)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("projected author network: %d authors, %d typed links (coauthor + samevenue)\n\n",
+		projected.NumEntities(), projected.NumEdgesTotal())
+
+	// Risk analysis on an "anonymized author release".
+	sample := rng.SampleWithoutReplacement(projected.NumEntities(), 500)
+	ids := make([]hin.EntityID, len(sample))
+	for i, v := range sample {
+		ids[i] = hin.EntityID(v)
+	}
+	released, relOrig, err := projected.Induced(ids)
+	if err != nil {
+		log.Fatal(err)
+	}
+	coauthor := projected.Schema().MustLinkTypeID("coauthor")
+	for n := 0; n <= 2; n++ {
+		r, err := risk.NetworkRisk(released, risk.SignatureConfig{
+			MaxDistance: n,
+			LinkTypes:   []hin.LinkTypeID{coauthor},
+			EntityAttrs: []int{attrStartYear},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("author risk at distance %d (start-year + co-authorship): %.1f%%\n", n, r*100)
+	}
+
+	// And the attack: anonymize the release, de-anonymize against the
+	// full author network with a domain-appropriate profile spec.
+	anon, err := anonymize.RandomizeIDs(released, 9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth := make([]hin.EntityID, len(anon.ToOrig))
+	for i, t0 := range anon.ToOrig {
+		truth[i] = relOrig[t0]
+	}
+	// The attack utilizes the selective co-authorship link; the
+	// samevenue link is far too dense to discriminate (its hubs connect
+	// thousands of authors) and would only slow the matcher down.
+	attack, err := dehin.NewAttack(projected, dehin.Config{
+		MaxDistance: 2,
+		LinkTypes:   []hin.LinkTypeID{coauthor},
+		Profile: dehin.ProfileSpec{
+			ExactAttrs: []int{attrStartYear},
+			GrowAttrs:  []int{attrPapers},
+		},
+		UseIndex: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := attack.Run(anon.Graph, truth)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nDeHIN on anonymized authors: precision %.1f%%, reduction %.3f%%\n",
+		res.Precision*100, res.ReductionRate*100)
+	fmt.Println("\nsame metric, same attack, different domain: heterogeneity is the leak.")
+}

@@ -1,0 +1,123 @@
+// Citibank: the paper's Section 1.1 motivating scenario end to end.
+//
+// A selective adversary reads the released recommendation preference log,
+// picks the anonymized users who ACCEPTED a bank recommendation (sensitive
+// information unavailable on the public site), and de-anonymizes exactly
+// those users by joining their profile and typed-neighborhood structure
+// with a public crawl. The victims' real identities - and their banking
+// interest - fall out.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"github.com/hinpriv/dehin/internal/anonymize"
+	"github.com/hinpriv/dehin/internal/dehin"
+	"github.com/hinpriv/dehin/internal/hin"
+	"github.com/hinpriv/dehin/internal/randx"
+	"github.com/hinpriv/dehin/internal/tqq"
+)
+
+func main() {
+	// The world, with a dense community the publisher will release.
+	cfg := tqq.DefaultConfig(12000, 2024)
+	cfg.Communities = []tqq.CommunitySpec{{Size: 800, Density: 0.01}}
+	world, err := tqq.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The release: sampled community, anonymized IDs, PLUS the
+	// recommendation log restricted to released users (this is the
+	// sensitive payload - the public site never shows rejections).
+	target, err := tqq.CommunityTarget(world, 0, randx.New(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	release, err := anonymize.RandomizeIDs(target.Graph, 17)
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth := make([]hin.EntityID, len(release.ToOrig))
+	releasedOf := make(map[hin.EntityID]hin.EntityID) // world id -> released id
+	for i, t0 := range release.ToOrig {
+		truth[i] = target.Orig[t0]
+		releasedOf[truth[i]] = hin.EntityID(i)
+	}
+
+	// The adversary's interest: users who accepted a bank recommendation.
+	type victim struct {
+		released hin.EntityID
+		item     tqq.Item
+	}
+	var victims []victim
+	for _, r := range world.Rec {
+		if !r.Accepted {
+			continue
+		}
+		it := world.Items[r.Item]
+		if it.Category != "bank" {
+			continue
+		}
+		rid, inRelease := releasedOf[r.User]
+		if !inRelease {
+			continue
+		}
+		victims = append(victims, victim{released: rid, item: it})
+	}
+	fmt.Printf("released users who accepted a bank recommendation: %d\n\n", len(victims))
+
+	// The attack, on just those users.
+	attack, err := dehin.NewAttack(world.Graph, dehin.Config{
+		MaxDistance: 2,
+		Profile:     dehin.TQQProfile(),
+		UseIndex:    true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	deanonymized := 0
+	shown := 0
+	for _, v := range victims {
+		cands := attack.Deanonymize(release.Graph, v.released)
+		if len(cands) != 1 {
+			continue
+		}
+		correct := cands[0] == truth[v.released]
+		if correct {
+			deanonymized++
+		}
+		if shown < 5 {
+			shown++
+			fmt.Printf("anonymized %q accepted %q -> identified as %q (correct: %v)\n",
+				release.Graph.Label(v.released), v.item.Name,
+				world.Graph.Label(cands[0]), correct)
+		}
+	}
+	if len(victims) > 0 {
+		fmt.Printf("\nuniquely de-anonymized %d / %d bank-interested users (%.0f%%)\n",
+			deanonymized, len(victims), 100*float64(deanonymized)/float64(len(victims)))
+	}
+
+	// The evidence behind one claim, the way the paper's Section 1.1
+	// narrates it ("A3H gave 15 comments to ... F8P ... and retweeted
+	// M7R 10 times"): the concrete neighbor pairings that single the
+	// victim out.
+	for _, v := range victims {
+		cands := attack.Deanonymize(release.Graph, v.released)
+		if len(cands) != 1 || cands[0] != truth[v.released] {
+			continue
+		}
+		ex := attack.ExplainMatch(release.Graph, v.released, cands[0])
+		lines := strings.SplitN(ex.Render(release.Graph, world.Graph), "\n", 6)
+		fmt.Println("\nevidence for one claim:")
+		for _, l := range lines[:min(5, len(lines))] {
+			fmt.Println(" ", l)
+		}
+		break
+	}
+	fmt.Println("\neach identified user can now be spear-phished with a fake banking interface -")
+	fmt.Println("the privacy risk the paper formalizes.")
+}

@@ -1,0 +1,101 @@
+// Defense: the paper's Sections 6.2-6.3 as a publisher's decision problem.
+//
+// The data publisher hardens the release with Complete Graph Anonymity
+// (CGA), then with Varying Weight CGA, and also with the structural
+// baselines (k-degree, strength generalization). For each option we report
+// what the re-configured DeHIN still achieves and what the hardening cost
+// in utility - the tradeoff that motivates the paper's conclusion that
+// heterogeneous link information, not structure alone, must be protected.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/hinpriv/dehin/internal/anonymize"
+	"github.com/hinpriv/dehin/internal/dehin"
+	"github.com/hinpriv/dehin/internal/hin"
+	"github.com/hinpriv/dehin/internal/randx"
+	"github.com/hinpriv/dehin/internal/tqq"
+)
+
+func main() {
+	cfg := tqq.DefaultConfig(8000, 5)
+	cfg.Communities = []tqq.CommunitySpec{{Size: 500, Density: 0.01}}
+	world, err := tqq.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	target, err := tqq.CommunityTarget(world, 0, randx.New(11))
+	if err != nil {
+		log.Fatal(err)
+	}
+	release, err := anonymize.RandomizeIDs(target.Graph, 23)
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth := make([]hin.EntityID, len(release.ToOrig))
+	for i, t0 := range release.ToOrig {
+		truth[i] = target.Orig[t0]
+	}
+
+	type option struct {
+		name     string
+		harden   func(*hin.Graph) (*hin.Graph, error)
+		reconfig bool
+	}
+	options := []option{
+		{"ID randomization only (KDDA)", func(g *hin.Graph) (*hin.Graph, error) { return g, nil }, false},
+		{"k-degree anonymity (k=20)", func(g *hin.Graph) (*hin.Graph, error) {
+			return anonymize.KDegree(g, anonymize.KDegreeOptions{K: 20, StrengthMax: cfg.StrengthMax, Seed: 31})
+		}, true},
+		{"k-degree, varying weights", func(g *hin.Graph) (*hin.Graph, error) {
+			return anonymize.KDegree(g, anonymize.KDegreeOptions{K: 20, StrengthMax: cfg.StrengthMax, VaryWeights: true, Seed: 31})
+		}, true},
+		{"strength generalization (k=5)", func(g *hin.Graph) (*hin.Graph, error) {
+			ag, width, achieved, err := anonymize.GeneralizeStrengths(g, 5, cfg.StrengthMax)
+			if err == nil {
+				fmt.Printf("  [generalization reached bucket width %d, k achieved: %v]\n", width, achieved)
+			}
+			return ag, err
+		}, false},
+		{"Complete Graph Anonymity", func(g *hin.Graph) (*hin.Graph, error) {
+			return anonymize.CompleteGraph(g, anonymize.CGAOptions{StrengthMax: cfg.StrengthMax, Seed: 41})
+		}, true},
+		{"Varying Weight CGA", func(g *hin.Graph) (*hin.Graph, error) {
+			return anonymize.CompleteGraph(g, anonymize.CGAOptions{VaryWeights: true, StrengthMax: cfg.StrengthMax, Seed: 43})
+		}, true},
+	}
+
+	fmt.Printf("%-32s  %10s  %12s  %12s\n", "hardening", "precision", "edges added", "weight loss")
+	for _, opt := range options {
+		hardened, err := opt.harden(release.Graph)
+		if err != nil {
+			log.Fatal(err)
+		}
+		util, err := anonymize.MeasureUtility(release.Graph, hardened)
+		if err != nil {
+			log.Fatal(err)
+		}
+		attack, err := dehin.NewAttack(world.Graph, dehin.Config{
+			MaxDistance:            2,
+			Profile:                dehin.TQQProfile(),
+			UseIndex:               true,
+			RemoveMajorityStrength: opt.reconfig,
+			FallbackProfileOnly:    opt.reconfig,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := attack.Run(hardened, truth)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-32s  %9.1f%%  %12d  %12d\n",
+			opt.name, res.Precision*100, util.EdgesAdded, util.WeightL1+util.FakeWeightMass)
+	}
+	fmt.Println("\nonly the varying-weight schemes blunt DeHIN, and they destroy the")
+	fmt.Println("strength distribution to do it; every constant-weight or structural")
+	fmt.Println("hardening leaves most users re-identifiable once the attacker strips")
+	fmt.Println("majority-strength links (the paper's Section 6.2 re-configuration).")
+}

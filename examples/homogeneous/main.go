@@ -1,0 +1,92 @@
+// Homogeneous: DeHIN on a homogeneous information network.
+//
+// The paper claims (Section 5.2) the attack "is also applicable to a
+// homogeneous information network ... with slight performance
+// degradation". This example builds the event-level t.qq network of
+// Figure 1, projects it onto the target network schema along the paper's
+// meta paths (exercising short-circuited features such as mention
+// strength), and compares DeHIN restricted to one link type at a time
+// against the full heterogeneous attack.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/hinpriv/dehin/internal/anonymize"
+	"github.com/hinpriv/dehin/internal/dehin"
+	"github.com/hinpriv/dehin/internal/hin"
+	"github.com/hinpriv/dehin/internal/randx"
+	"github.com/hinpriv/dehin/internal/tqq"
+)
+
+func main() {
+	// Event-level network: users, tweets and comments as entities.
+	ecfg := tqq.DefaultEventConfig(3000, 77)
+	ecfg.TweetsPerUser = 6
+	ecfg.CommentsPerUser = 5
+	ecfg.FollowAvgDeg = 8
+	events, err := tqq.GenerateEvents(ecfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	userType, _ := events.Schema().EntityTypeID("User")
+	fmt.Printf("event network: %d entities (%d users), %d typed links\n",
+		events.NumEntities(), len(events.EntitiesOfType(userType)), events.NumEdgesTotal())
+
+	// Project along the paper's target meta paths: the heterogeneity is
+	// short-circuited into four user-user link types.
+	aux, _, err := tqq.ProjectEvents(events)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("projected target schema network: %d users, %d links\n\n",
+		aux.NumEntities(), aux.NumEdgesTotal())
+
+	// Release a random sample of users.
+	rng := randx.New(5)
+	idx := rng.SampleWithoutReplacement(aux.NumEntities(), 400)
+	users := make([]hin.EntityID, len(idx))
+	for i, v := range idx {
+		users[i] = hin.EntityID(v)
+	}
+	sample, orig, err := aux.Induced(users)
+	if err != nil {
+		log.Fatal(err)
+	}
+	release, err := anonymize.RandomizeIDs(sample, 13)
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth := make([]hin.EntityID, len(release.ToOrig))
+	for i, t0 := range release.ToOrig {
+		truth[i] = orig[t0]
+	}
+
+	run := func(name string, links []hin.LinkTypeID) {
+		attack, err := dehin.NewAttack(aux, dehin.Config{
+			MaxDistance: 2,
+			LinkTypes:   links,
+			Profile:     dehin.TQQProfile(),
+			UseIndex:    true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := attack.Run(release.Graph, truth)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-28s precision %5.1f%%   reduction %7.3f%%\n",
+			name, res.Precision*100, res.ReductionRate*100)
+	}
+
+	fmt.Println("homogeneous (single link type) vs heterogeneous:")
+	schema := aux.Schema()
+	for lt := 0; lt < schema.NumLinkTypes(); lt++ {
+		run("only "+schema.LinkType(hin.LinkTypeID(lt)).Name, []hin.LinkTypeID{hin.LinkTypeID(lt)})
+	}
+	run("all four (heterogeneous)", nil)
+	fmt.Println("\nthe single-type attacks still work - the homogeneous special case -")
+	fmt.Println("but combining heterogeneous links is consistently stronger.")
+}

@@ -1,0 +1,75 @@
+// Quickstart: generate a synthetic t.qq-style network, release an
+// anonymized sample, and de-anonymize it with DeHIN - the paper's whole
+// pipeline in one screen of code.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/hinpriv/dehin/internal/anonymize"
+	"github.com/hinpriv/dehin/internal/dehin"
+	"github.com/hinpriv/dehin/internal/hin"
+	"github.com/hinpriv/dehin/internal/randx"
+	"github.com/hinpriv/dehin/internal/tqq"
+)
+
+func main() {
+	// 1. The world: an auxiliary network of 10,000 users with one dense
+	//    1,000-user community (density 0.01 per the paper's Equation 4).
+	cfg := tqq.DefaultConfig(10000, 42)
+	cfg.Communities = []tqq.CommunitySpec{{Size: 1000, Density: 0.01}}
+	world, err := tqq.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("auxiliary network: %d users, %d typed links\n",
+		world.Graph.NumEntities(), world.Graph.NumEdgesTotal())
+
+	// 2. The release: the data publisher samples the community and
+	//    anonymizes it KDD-Cup-style (random IDs, remapped tag IDs).
+	target, err := tqq.CommunityTarget(world, 0, randx.New(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	release, err := anonymize.RandomizeIDs(target.Graph, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	density, _ := hin.Density(release.Graph)
+	fmt.Printf("released target:   %d users, density %.4f, IDs anonymized\n",
+		release.Graph.NumEntities(), density)
+
+	// 3. The attack: DeHIN with growth-tolerant matchers, utilizing
+	//    neighbors up to distance 2 across all four link types.
+	attack, err := dehin.NewAttack(world.Graph, dehin.Config{
+		MaxDistance: 2,
+		Profile:     dehin.TQQProfile(),
+		UseIndex:    true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Ground truth for scoring only: released id -> sampled id -> world id.
+	truth := make([]hin.EntityID, len(release.ToOrig))
+	for i, t0 := range release.ToOrig {
+		truth[i] = target.Orig[t0]
+	}
+	res, err := attack.Run(release.Graph, truth)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nDeHIN (max distance 2):\n")
+	fmt.Printf("  precision:      %.1f%% of users uniquely and correctly re-identified\n", res.Precision*100)
+	fmt.Printf("  reduction rate: %.3f%%\n", res.ReductionRate*100)
+
+	// 4. One victim in detail.
+	for tv, o := range res.PerTarget {
+		if o.Correct {
+			fmt.Printf("\nexample: anonymized user %q is %q in the auxiliary data\n",
+				release.Graph.Label(hin.EntityID(tv)), world.Graph.Label(truth[tv]))
+			break
+		}
+	}
+}

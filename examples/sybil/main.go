@@ -1,0 +1,89 @@
+// Sybil: the active attack of Backstrom et al. (Section 2.2) - and why the
+// paper dismisses it.
+//
+// Before the release, the adversary registers a small gang of fake
+// accounts, wires them with a random pattern, and points distinct sybil
+// subsets at the target users. After the anonymized release, the gang is
+// recovered by its degree-and-pattern fingerprint and the targets read off
+// its out-edges. It works - but (1) it requires tampering with the network
+// BEFORE the snapshot, and (2) the gang is structurally conspicuous: it is
+// a dense source component that a defender finds in one SCC pass. DeHIN
+// needs neither account creation nor conspicuous structure.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/hinpriv/dehin/internal/anonymize"
+	"github.com/hinpriv/dehin/internal/baseline"
+	"github.com/hinpriv/dehin/internal/hin"
+	"github.com/hinpriv/dehin/internal/randx"
+	"github.com/hinpriv/dehin/internal/tqq"
+)
+
+func main() {
+	world, err := tqq.Generate(tqq.DefaultConfig(5000, 77))
+	if err != nil {
+		log.Fatal(err)
+	}
+	follow := world.Graph.Schema().MustLinkTypeID(tqq.LinkFollow)
+
+	// The adversary picks 10 targets and plants a 12-account gang.
+	rng := randx.New(4)
+	var targets []hin.EntityID
+	for _, v := range rng.SampleWithoutReplacement(world.Graph.NumEntities(), 10) {
+		targets = append(targets, hin.EntityID(v))
+	}
+	planted, plan, err := baseline.PlantSybils(world.Graph, baseline.SybilConfig{
+		NumSybils:    12,
+		Targets:      targets,
+		LinkType:     follow,
+		InternalProb: 0.5,
+		Seed:         9,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("planted a %d-sybil gang against %d targets (network: %d users)\n",
+		len(plan.Sybils), len(targets), planted.NumEntities())
+
+	// The publisher releases the anonymized network.
+	release, err := anonymize.RandomizeIDs(planted, 123)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Attack side: recover the gang, then the targets.
+	gang, err := baseline.RecoverSybils(release.Graph, plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("gang recovered from the anonymized release by degree+pattern fingerprint")
+	cands, err := baseline.IdentifyTargets(release.Graph, plan, gang)
+	if err != nil {
+		log.Fatal(err)
+	}
+	correct := 0
+	for ti, c := range cands {
+		if len(c) == 1 && release.ToOrig[c[0]] == plan.Targets[ti] {
+			correct++
+		}
+	}
+	fmt.Printf("targets re-identified: %d / %d\n\n", correct, len(targets))
+
+	// Defender side: the gang is a dense source SCC.
+	gangs := baseline.DetectSybilGangs(planted, 20, 0.2)
+	fmt.Printf("defender's SCC sweep flags %d suspicious gang(s)", len(gangs))
+	if len(gangs) == 1 {
+		fmt.Printf(" of size %d - the sybils, exactly\n", len(gangs[0]))
+	} else {
+		fmt.Println()
+	}
+	clean := baseline.DetectSybilGangs(world.Graph, 20, 0.2)
+	fmt.Printf("same sweep on the organic network: %d false positives\n\n", len(clean))
+
+	fmt.Println("conclusion (the paper's Section 2.2 point): the active attack needs")
+	fmt.Println("pre-release tampering and is trivially detectable; DeHIN achieves the")
+	fmt.Println("same end passively, from the released data alone.")
+}

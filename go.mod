@@ -1,0 +1,3 @@
+module github.com/hinpriv/dehin
+
+go 1.22

@@ -1,0 +1,113 @@
+package anonymize
+
+import (
+	"fmt"
+
+	"github.com/hinpriv/dehin/internal/hin"
+	"github.com/hinpriv/dehin/internal/randx"
+)
+
+// PerturbOptions parameterizes random edge perturbation - the
+// "adding, deleting, switching edges" family of modifications the paper's
+// Section 4.1 lists as the standard anonymization toolbox.
+type PerturbOptions struct {
+	// DeleteProb removes each existing edge independently.
+	DeleteProb float64
+	// AddFrac adds, per link type, this fraction of the surviving edge
+	// count as fresh random edges.
+	AddFrac float64
+	// SwitchProb rewires each surviving edge's destination to a uniform
+	// random entity (degree sequence of sources preserved; a classic
+	// "edge switching" perturbation).
+	SwitchProb float64
+	// StrengthNoise, when positive, adds uniform noise in
+	// [-StrengthNoise, +StrengthNoise] to each weighted strength
+	// (clamped to >= 1).
+	StrengthNoise int
+	// StrengthMax bounds strengths of added edges.
+	StrengthMax int
+	// Seed drives the randomness.
+	Seed uint64
+}
+
+// Perturb returns a randomly perturbed copy of g. Unlike CGA this breaks
+// DeHIN's no-false-negative guarantee: deleting or switching a real edge
+// can eliminate the true counterpart, trading recall for privacy - the
+// ablation-perturb experiment quantifies that frontier.
+func Perturb(g *hin.Graph, opt PerturbOptions) (*hin.Graph, error) {
+	if opt.DeleteProb < 0 || opt.DeleteProb > 1 {
+		return nil, fmt.Errorf("anonymize: DeleteProb %g out of [0,1]", opt.DeleteProb)
+	}
+	if opt.SwitchProb < 0 || opt.SwitchProb > 1 {
+		return nil, fmt.Errorf("anonymize: SwitchProb %g out of [0,1]", opt.SwitchProb)
+	}
+	if opt.AddFrac < 0 {
+		return nil, fmt.Errorf("anonymize: negative AddFrac")
+	}
+	if opt.StrengthNoise < 0 {
+		return nil, fmt.Errorf("anonymize: negative StrengthNoise")
+	}
+	if opt.AddFrac > 0 && opt.StrengthMax < 1 {
+		return nil, fmt.Errorf("anonymize: StrengthMax must be >= 1 when adding edges")
+	}
+	rng := randx.New(opt.Seed)
+	schema := g.Schema()
+	n := g.NumEntities()
+	b := hin.NewBuilder(schema)
+	for i := 0; i < n; i++ {
+		id := hin.EntityID(i)
+		b.AddEntity(g.EntityType(id), g.Label(id), g.Attrs(id)...)
+		for _, sa := range schema.EntityType(g.EntityType(id)).SetAttrs {
+			if s := g.Set(sa, id); len(s) > 0 {
+				b.SetSet(sa, id, s)
+			}
+		}
+	}
+	for lt := 0; lt < schema.NumLinkTypes(); lt++ {
+		ltid := hin.LinkTypeID(lt)
+		decl := schema.LinkType(ltid)
+		var kept int64
+		for v := 0; v < n; v++ {
+			tos, ws := g.OutEdges(ltid, hin.EntityID(v))
+			for j, to := range tos {
+				if rng.Bool(opt.DeleteProb) {
+					continue
+				}
+				dst := to
+				if rng.Bool(opt.SwitchProb) {
+					dst = hin.EntityID(rng.Intn(n))
+					if dst == hin.EntityID(v) && !decl.AllowSelf {
+						continue // switched onto itself: drop
+					}
+				}
+				w := ws[j]
+				if decl.Weighted && opt.StrengthNoise > 0 {
+					w += int32(rng.IntRange(-opt.StrengthNoise, opt.StrengthNoise))
+					if w < 1 {
+						w = 1
+					}
+				}
+				if err := b.AddEdge(ltid, hin.EntityID(v), dst, w); err != nil {
+					return nil, err
+				}
+				kept++
+			}
+		}
+		extra := int64(float64(kept) * opt.AddFrac)
+		for e := int64(0); e < extra; e++ {
+			from := hin.EntityID(rng.Intn(n))
+			to := hin.EntityID(rng.Intn(n))
+			if from == to && !decl.AllowSelf {
+				continue
+			}
+			w := int32(1)
+			if decl.Weighted {
+				w = int32(rng.IntRange(1, opt.StrengthMax))
+			}
+			if err := b.AddEdge(ltid, from, to, w); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,163 @@
+package anonymize
+
+import (
+	"testing"
+
+	"github.com/hinpriv/dehin/internal/hin"
+)
+
+func TestPerturbIdentity(t *testing.T) {
+	d := smallDataset(t, 100, 20)
+	pg, err := Perturb(d.Graph, PerturbOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pg.NumEdgesTotal() != d.Graph.NumEdgesTotal() {
+		t.Fatal("zero perturbation changed the edge count")
+	}
+	for lt := 0; lt < 4; lt++ {
+		for v := 0; v < 100; v++ {
+			tos, ws := d.Graph.OutEdges(hin.LinkTypeID(lt), hin.EntityID(v))
+			for j, to := range tos {
+				w, ok := pg.FindEdge(hin.LinkTypeID(lt), hin.EntityID(v), to)
+				if !ok || w != ws[j] {
+					t.Fatal("zero perturbation modified an edge")
+				}
+			}
+		}
+	}
+}
+
+func TestPerturbDelete(t *testing.T) {
+	d := smallDataset(t, 200, 21)
+	pg, err := Perturb(d.Graph, PerturbOptions{DeleteProb: 0.5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, after := d.Graph.NumEdgesTotal(), pg.NumEdgesTotal()
+	if after >= before {
+		t.Fatalf("deletion did not shrink: %d -> %d", before, after)
+	}
+	// Roughly half survive.
+	if float64(after) < 0.35*float64(before) || float64(after) > 0.65*float64(before) {
+		t.Fatalf("survival rate off: %d of %d", after, before)
+	}
+	// Survivors are original edges with original strengths.
+	for lt := 0; lt < 4; lt++ {
+		for v := 0; v < 200; v++ {
+			tos, ws := pg.OutEdges(hin.LinkTypeID(lt), hin.EntityID(v))
+			for j, to := range tos {
+				w, ok := d.Graph.FindEdge(hin.LinkTypeID(lt), hin.EntityID(v), to)
+				if !ok || w != ws[j] {
+					t.Fatal("deletion fabricated or altered an edge")
+				}
+			}
+		}
+	}
+}
+
+func TestPerturbAdd(t *testing.T) {
+	d := smallDataset(t, 200, 22)
+	pg, err := Perturb(d.Graph, PerturbOptions{AddFrac: 0.3, StrengthMax: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pg.NumEdgesTotal() <= d.Graph.NumEdgesTotal() {
+		t.Fatal("addition did not grow the graph")
+	}
+	// Original edges survive with at least their strength (coincident
+	// additions merge upward).
+	for lt := 0; lt < 4; lt++ {
+		for v := 0; v < 200; v++ {
+			tos, ws := d.Graph.OutEdges(hin.LinkTypeID(lt), hin.EntityID(v))
+			for j, to := range tos {
+				w, ok := pg.FindEdge(hin.LinkTypeID(lt), hin.EntityID(v), to)
+				if !ok || w < ws[j] {
+					t.Fatal("addition destroyed an original edge")
+				}
+			}
+		}
+	}
+}
+
+func TestPerturbSwitchPreservesSourceDegrees(t *testing.T) {
+	d := smallDataset(t, 200, 23)
+	pg, err := Perturb(d.Graph, PerturbOptions{SwitchProb: 1, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rewiring may only lose edges to self-loop drops or duplicate
+	// merges; out-degree never grows.
+	for lt := 0; lt < 4; lt++ {
+		for v := 0; v < 200; v++ {
+			if pg.OutDegree(hin.LinkTypeID(lt), hin.EntityID(v)) > d.Graph.OutDegree(hin.LinkTypeID(lt), hin.EntityID(v)) {
+				t.Fatal("switching grew an out-degree")
+			}
+		}
+	}
+}
+
+func TestPerturbStrengthNoise(t *testing.T) {
+	d := smallDataset(t, 150, 24)
+	pg, err := Perturb(d.Graph, PerturbOptions{StrengthNoise: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mention := d.Graph.Schema().MustLinkTypeID("mention")
+	changed := false
+	for v := 0; v < 150; v++ {
+		tos, ws := d.Graph.OutEdges(mention, hin.EntityID(v))
+		for j, to := range tos {
+			w, ok := pg.FindEdge(mention, hin.EntityID(v), to)
+			if !ok {
+				t.Fatal("noise deleted an edge")
+			}
+			if w < 1 {
+				t.Fatalf("noise produced strength %d", w)
+			}
+			d := w - ws[j]
+			if d < -3 || d > 3 {
+				t.Fatalf("noise out of range: %d", d)
+			}
+			if d != 0 {
+				changed = true
+			}
+		}
+	}
+	if !changed {
+		t.Fatal("noise changed nothing")
+	}
+}
+
+func TestPerturbErrors(t *testing.T) {
+	d := smallDataset(t, 20, 25)
+	for i, opt := range []PerturbOptions{
+		{DeleteProb: -0.1},
+		{DeleteProb: 1.1},
+		{SwitchProb: -1},
+		{SwitchProb: 2},
+		{AddFrac: -0.5},
+		{StrengthNoise: -1},
+		{AddFrac: 0.5, StrengthMax: 0},
+	} {
+		if _, err := Perturb(d.Graph, opt); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestPerturbDeterministic(t *testing.T) {
+	d := smallDataset(t, 100, 26)
+	opt := PerturbOptions{DeleteProb: 0.2, AddFrac: 0.2, SwitchProb: 0.1, StrengthMax: 10, Seed: 6}
+	p1, err := Perturb(d.Graph, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Perturb(d.Graph, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.NumEdgesTotal() != p2.NumEdgesTotal() {
+		t.Fatal("perturbation not deterministic")
+	}
+}

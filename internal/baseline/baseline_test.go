@@ -1,0 +1,182 @@
+package baseline
+
+import (
+	"testing"
+
+	"github.com/hinpriv/dehin/internal/hin"
+	"github.com/hinpriv/dehin/internal/randx"
+	"github.com/hinpriv/dehin/internal/tqq"
+)
+
+func TestProfileOnly(t *testing.T) {
+	s := tqq.TargetSchema()
+	b := hin.NewBuilder(s)
+	b.AddEntity(0, "a", 1980, 1, 100, 0)
+	b.AddEntity(0, "b", 1980, 1, 100, 0)
+	b.AddEntity(0, "c", 1990, 2, 50, 0)
+	aux, _ := b.Build()
+
+	tb := hin.NewBuilder(s)
+	tb.AddEntity(0, "", 1980, 1, 100, 0)
+	tb.AddEntity(0, "", 1990, 2, 50, 0)
+	tb.AddEntity(0, "", 2000, 0, 1, 0)
+	target, _ := tb.Build()
+
+	attrs := []int{tqq.AttrYob, tqq.AttrGender, tqq.AttrTweets}
+	cands, err := ProfileOnly(target, aux, attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands[0]) != 2 {
+		t.Fatalf("target 0 candidates = %v", cands[0])
+	}
+	if len(cands[1]) != 1 || cands[1][0] != 2 {
+		t.Fatalf("target 1 candidates = %v", cands[1])
+	}
+	if len(cands[2]) != 0 {
+		t.Fatalf("target 2 candidates = %v", cands[2])
+	}
+}
+
+func TestProfileOnlyErrors(t *testing.T) {
+	s := tqq.TargetSchema()
+	b := hin.NewBuilder(s)
+	b.AddEntity(0, "", 1, 1, 1, 0)
+	g, _ := b.Build()
+	if _, err := ProfileOnly(g, g, []int{-1}); err == nil {
+		t.Fatal("negative attr accepted")
+	}
+	if _, err := ProfileOnly(g, g, []int{9}); err == nil {
+		t.Fatal("out-of-range attr accepted")
+	}
+}
+
+// propagationFixture samples a dense community as target (identity-mapped
+// into the dataset) and returns seeds from the ground truth.
+func propagationFixture(t *testing.T, seedCount int) (tgt *tqq.Target, aux *hin.Graph, seeds map[hin.EntityID]hin.EntityID) {
+	t.Helper()
+	cfg := tqq.DefaultConfig(1200, 19)
+	cfg.Communities = []tqq.CommunitySpec{{Size: 200, Density: 0.02}}
+	d, err := tqq.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, err = tqq.CommunityTarget(d, 0, randx.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds = make(map[hin.EntityID]hin.EntityID)
+	rng := randx.New(100)
+	for _, i := range rng.SampleWithoutReplacement(tgt.Graph.NumEntities(), seedCount) {
+		seeds[hin.EntityID(i)] = tgt.Orig[i]
+	}
+	return tgt, d.Graph, seeds
+}
+
+func TestPropagationWithSeeds(t *testing.T) {
+	tgt, aux, seeds := propagationFixture(t, 20)
+	res, err := Propagation(tgt.Graph, aux, PropagationConfig{Seeds: seeds, Theta: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	precision, coverage := Score(res, tgt.Orig, seeds)
+	if coverage == 0 {
+		t.Fatal("propagation mapped nothing beyond seeds")
+	}
+	if precision < 0.5 {
+		t.Fatalf("propagation precision = %g on a dense community", precision)
+	}
+	t.Logf("propagation: precision=%.2f coverage=%.2f rounds=%d", precision, coverage, res.Rounds)
+}
+
+func TestPropagationNoSeedsMapsNothing(t *testing.T) {
+	tgt, aux, _ := propagationFixture(t, 0)
+	res, err := Propagation(tgt.Graph, aux, PropagationConfig{Theta: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tv, av := range res.Mapping {
+		if av != hin.NoEntity {
+			t.Fatalf("mapped %d without any seed", tv)
+		}
+	}
+}
+
+func TestPropagationMappingInjective(t *testing.T) {
+	tgt, aux, seeds := propagationFixture(t, 15)
+	res, err := Propagation(tgt.Graph, aux, PropagationConfig{Seeds: seeds, Theta: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[hin.EntityID]bool)
+	for _, av := range res.Mapping {
+		if av == hin.NoEntity {
+			continue
+		}
+		if seen[av] {
+			t.Fatalf("auxiliary entity %d mapped twice", av)
+		}
+		seen[av] = true
+	}
+}
+
+func TestPropagationErrors(t *testing.T) {
+	tgt, aux, _ := propagationFixture(t, 0)
+	if _, err := Propagation(tgt.Graph, aux, PropagationConfig{Theta: -1}); err == nil {
+		t.Fatal("negative theta accepted")
+	}
+	bad := map[hin.EntityID]hin.EntityID{9999: 0}
+	if _, err := Propagation(tgt.Graph, aux, PropagationConfig{Seeds: bad, Theta: 0.5}); err == nil {
+		t.Fatal("out-of-range seed accepted")
+	}
+}
+
+func TestScoreIgnoresSeeds(t *testing.T) {
+	truth := []hin.EntityID{10, 11, 12}
+	seeds := map[hin.EntityID]hin.EntityID{0: 10}
+	res := &PropagationResult{Mapping: []hin.EntityID{10, 11, hin.NoEntity}}
+	precision, coverage := Score(res, truth, seeds)
+	if precision != 1 {
+		t.Fatalf("precision = %g", precision)
+	}
+	if coverage != 0.5 {
+		t.Fatalf("coverage = %g", coverage)
+	}
+}
+
+func TestProfileOnlyGrowing(t *testing.T) {
+	s := tqq.TargetSchema()
+	b := hin.NewBuilder(s)
+	b.AddEntity(0, "a", 1980, 1, 100, 2)
+	b.AddEntity(0, "b", 1980, 1, 150, 3) // grown twin of the target
+	b.AddEntity(0, "c", 1980, 1, 50, 2)  // tweets shrank: impossible
+	b.AddEntity(0, "d", 1981, 1, 100, 2) // different yob
+	aux, _ := b.Build()
+
+	tb := hin.NewBuilder(s)
+	tb.AddEntity(0, "", 1980, 1, 100, 2)
+	target, _ := tb.Build()
+
+	cands, err := ProfileOnlyGrowing(target, aux,
+		[]int{tqq.AttrYob, tqq.AttrGender},
+		[]int{tqq.AttrTweets, tqq.AttrNumTags})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands[0]) != 2 || cands[0][0] != 0 || cands[0][1] != 1 {
+		t.Fatalf("candidates = %v, want [a b]", cands[0])
+	}
+}
+
+func TestProfileOnlyGrowingErrors(t *testing.T) {
+	s := tqq.TargetSchema()
+	b := hin.NewBuilder(s)
+	b.AddEntity(0, "", 1, 1, 1, 0)
+	g, _ := b.Build()
+	if _, err := ProfileOnlyGrowing(g, g, []int{-1}, nil); err == nil {
+		t.Fatal("negative attr accepted")
+	}
+	if _, err := ProfileOnlyGrowing(g, g, nil, []int{9}); err == nil {
+		t.Fatal("out-of-range attr accepted")
+	}
+}

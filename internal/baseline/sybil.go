@@ -1,0 +1,324 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/hinpriv/dehin/internal/hin"
+	"github.com/hinpriv/dehin/internal/randx"
+)
+
+// This file implements the active ("sybil") attack of Backstrom, Dwork and
+// Kleinberg (Section 2.2): before the dataset is anonymized, the adversary
+// creates a small gang of fake accounts wired together by a random
+// pattern, attaches a distinct sybil subset to each target account, and
+// after the release recovers the gang from the anonymized graph by its
+// degrees-plus-pattern fingerprint, reading the targets off the recovered
+// gang's out-edges.
+//
+// DeHIN's whole point is that none of this machinery is necessary in a
+// heterogeneous network - and that the gang is structurally conspicuous:
+// hin.SourceComponents finds it, as the tests demonstrate.
+
+// SybilConfig parameterizes the planted gang.
+type SybilConfig struct {
+	// NumSybils is the gang size (Backstrom et al. need O(log n)).
+	NumSybils int
+	// Targets are the accounts to be re-identified, as entity ids in the
+	// pre-release graph.
+	Targets []hin.EntityID
+	// LinkType is the link type the gang uses (follow in the t.qq
+	// schema; it must allow User->User edges).
+	LinkType hin.LinkTypeID
+	// InternalProb is the density of the random internal pattern.
+	InternalProb float64
+	// Seed drives pattern randomness.
+	Seed uint64
+}
+
+// SybilPlan is the adversary's secret: the internal pattern and which
+// sybils point at which target. Indexes are gang-local (0..NumSybils-1).
+type SybilPlan struct {
+	// Sybils are the gang's entity ids in the planted (pre-anonymization)
+	// graph, in gang order.
+	Sybils []hin.EntityID
+	// Internal[i][j] records the internal edge i -> j.
+	Internal [][]bool
+	// TargetSets[t] is the sybil subset attached to Targets[t]; subsets
+	// are distinct across targets, which is what makes targets readable.
+	TargetSets [][]int
+	// Targets echoes the configured targets.
+	Targets []hin.EntityID
+	// LinkType echoes the configured link type.
+	LinkType hin.LinkTypeID
+}
+
+// PlantSybils returns a copy of g with the gang added (sybils are new
+// entities appended after the originals) plus the plan needed for
+// recovery. Sybil profiles are copied from random existing users so
+// attribute-level screening cannot reject them outright.
+func PlantSybils(g *hin.Graph, cfg SybilConfig) (*hin.Graph, *SybilPlan, error) {
+	k := cfg.NumSybils
+	if k < 2 {
+		return nil, nil, fmt.Errorf("baseline: gang needs >= 2 sybils, got %d", k)
+	}
+	if len(cfg.Targets) == 0 {
+		return nil, nil, fmt.Errorf("baseline: no targets")
+	}
+	if cfg.InternalProb <= 0 || cfg.InternalProb >= 1 {
+		return nil, nil, fmt.Errorf("baseline: InternalProb must be in (0,1)")
+	}
+	if int(cfg.LinkType) >= g.Schema().NumLinkTypes() {
+		return nil, nil, fmt.Errorf("baseline: link type %d out of range", cfg.LinkType)
+	}
+	// Each target needs a distinct non-empty sybil subset.
+	if maxSubsets := (int64(1) << uint(min(k, 62))) - 1; int64(len(cfg.Targets)) > maxSubsets {
+		return nil, nil, fmt.Errorf("baseline: %d targets need more than %d distinct subsets",
+			len(cfg.Targets), maxSubsets)
+	}
+	for _, t := range cfg.Targets {
+		if t < 0 || int(t) >= g.NumEntities() {
+			return nil, nil, fmt.Errorf("baseline: target %d out of range", t)
+		}
+	}
+	rng := randx.New(cfg.Seed)
+	schema := g.Schema()
+	n := g.NumEntities()
+	b := hin.NewBuilder(schema)
+	for i := 0; i < n; i++ {
+		id := hin.EntityID(i)
+		b.AddEntity(g.EntityType(id), g.Label(id), g.Attrs(id)...)
+		for _, sa := range schema.EntityType(g.EntityType(id)).SetAttrs {
+			if s := g.Set(sa, id); len(s) > 0 {
+				b.SetSet(sa, id, s)
+			}
+		}
+	}
+	userType, _ := schema.EntityTypeID(schema.LinkType(cfg.LinkType).From)
+	plan := &SybilPlan{
+		Targets:  append([]hin.EntityID(nil), cfg.Targets...),
+		LinkType: cfg.LinkType,
+	}
+	for i := 0; i < k; i++ {
+		// Clone a random organic user's profile.
+		src := hin.EntityID(rng.Intn(n))
+		for g.EntityType(src) != userType {
+			src = hin.EntityID(rng.Intn(n))
+		}
+		id := b.AddEntity(userType, fmt.Sprintf("sybil%02d", i), g.Attrs(src)...)
+		plan.Sybils = append(plan.Sybils, id)
+	}
+	// Internal random pattern.
+	plan.Internal = make([][]bool, k)
+	for i := range plan.Internal {
+		plan.Internal[i] = make([]bool, k)
+	}
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			if i != j && rng.Bool(cfg.InternalProb) {
+				plan.Internal[i][j] = true
+				if err := b.AddEdge(cfg.LinkType, plan.Sybils[i], plan.Sybils[j], 1); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+	}
+	// Distinct subsets per target.
+	seen := make(map[string]bool)
+	for _, t := range cfg.Targets {
+		var subset []int
+		for {
+			subset = subset[:0]
+			for i := 0; i < k; i++ {
+				if rng.Bool(0.5) {
+					subset = append(subset, i)
+				}
+			}
+			if len(subset) == 0 {
+				continue
+			}
+			key := fmt.Sprint(subset)
+			if !seen[key] {
+				seen[key] = true
+				break
+			}
+		}
+		plan.TargetSets = append(plan.TargetSets, append([]int(nil), subset...))
+		for _, i := range subset {
+			if err := b.AddEdge(cfg.LinkType, plan.Sybils[i], t, 1); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	pg, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return pg, plan, nil
+}
+
+// RecoverSybils locates the gang inside the released (anonymized) graph by
+// backtracking over nodes whose per-type in/out degrees match each sybil's
+// known fingerprint and whose mutual edges realize the internal pattern.
+// It returns the gang's entity ids in the released graph, in gang order,
+// or an error when zero or multiple consistent embeddings exist (the
+// attack then fails, as Backstrom et al. discuss for small gangs).
+func RecoverSybils(released *hin.Graph, plan *SybilPlan) ([]hin.EntityID, error) {
+	k := len(plan.Sybils)
+	lt := plan.LinkType
+	// Known exact degrees of each sybil in the released graph.
+	outDeg := make([]int, k)
+	inDeg := make([]int, k)
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			if plan.Internal[i][j] {
+				outDeg[i]++
+				inDeg[j]++
+			}
+		}
+	}
+	for _, subset := range plan.TargetSets {
+		for _, i := range subset {
+			outDeg[i]++
+		}
+	}
+	// Candidate pool per gang slot.
+	cands := make([][]hin.EntityID, k)
+	for v := 0; v < released.NumEntities(); v++ {
+		id := hin.EntityID(v)
+		o := released.OutDegree(lt, id)
+		in := released.InDegree(lt, id)
+		for i := 0; i < k; i++ {
+			if o == outDeg[i] && in == inDeg[i] {
+				cands[i] = append(cands[i], id)
+			}
+		}
+	}
+	// Assign scarcest slots first.
+	order := make([]int, k)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return len(cands[order[a]]) < len(cands[order[b]]) })
+
+	assign := make([]hin.EntityID, k)
+	used := make(map[hin.EntityID]bool, k)
+	var found [][]hin.EntityID
+	var bt func(pos int)
+	bt = func(pos int) {
+		if len(found) > 1 {
+			return
+		}
+		if pos == k {
+			found = append(found, append([]hin.EntityID(nil), assign...))
+			return
+		}
+		slot := order[pos]
+		for _, c := range cands[slot] {
+			if used[c] {
+				continue
+			}
+			ok := true
+			for prev := 0; prev < pos; prev++ {
+				p := order[prev]
+				if _, has := released.FindEdge(lt, c, assign[p]); has != plan.Internal[slot][p] {
+					ok = false
+					break
+				}
+				if _, has := released.FindEdge(lt, assign[p], c); has != plan.Internal[p][slot] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			assign[slot] = c
+			used[c] = true
+			bt(pos + 1)
+			used[c] = false
+			if len(found) > 1 {
+				return
+			}
+		}
+	}
+	bt(0)
+	switch len(found) {
+	case 0:
+		return nil, fmt.Errorf("baseline: sybil gang not found in released graph")
+	case 1:
+		return found[0], nil
+	default:
+		return nil, fmt.Errorf("baseline: sybil pattern is ambiguous in released graph")
+	}
+}
+
+// IdentifyTargets reads the targets off the recovered gang: target t's
+// identity is the set of released entities that receive edges from
+// exactly plan.TargetSets[t]'s sybils (and no other gang member).
+// Result[t] is the candidate list for plan.Targets[t]; a singleton means
+// the target is re-identified.
+func IdentifyTargets(released *hin.Graph, plan *SybilPlan, gang []hin.EntityID) ([][]hin.EntityID, error) {
+	if len(gang) != len(plan.Sybils) {
+		return nil, fmt.Errorf("baseline: gang size %d != plan %d", len(gang), len(plan.Sybils))
+	}
+	lt := plan.LinkType
+	gangSet := make(map[hin.EntityID]int, len(gang))
+	for i, v := range gang {
+		gangSet[v] = i
+	}
+	// For each non-gang entity, which gang members point at it?
+	incoming := make(map[hin.EntityID][]int)
+	for i, s := range gang {
+		tos, _ := released.OutEdges(lt, s)
+		for _, to := range tos {
+			if _, isGang := gangSet[to]; isGang {
+				continue
+			}
+			incoming[to] = append(incoming[to], i)
+		}
+	}
+	out := make([][]hin.EntityID, len(plan.TargetSets))
+	for ti, subset := range plan.TargetSets {
+		want := fmt.Sprint(subset)
+		for v, got := range incoming {
+			sort.Ints(got)
+			if fmt.Sprint(got) == want {
+				out[ti] = append(out[ti], v)
+			}
+		}
+		sort.Slice(out[ti], func(a, b int) bool { return out[ti][a] < out[ti][b] })
+	}
+	return out, nil
+}
+
+// DetectSybilGangs is the defender's counter: planted gangs are source
+// strongly-connected components (nobody organic links into them), so they
+// stand out structurally. It returns the suspicious components of size
+// 2..maxGang whose internal link density (via any type) is at least
+// minDensity.
+func DetectSybilGangs(g *hin.Graph, maxGang int, minDensity float64) [][]hin.EntityID {
+	var out [][]hin.EntityID
+	for _, comp := range hin.SourceComponents(g, 2, maxGang) {
+		inComp := make(map[hin.EntityID]bool, len(comp))
+		for _, v := range comp {
+			inComp[v] = true
+		}
+		var internal int64
+		for _, v := range comp {
+			for lt := 0; lt < g.Schema().NumLinkTypes(); lt++ {
+				tos, _ := g.OutEdges(hin.LinkTypeID(lt), v)
+				for _, to := range tos {
+					if inComp[to] {
+						internal++
+					}
+				}
+			}
+		}
+		max := int64(len(comp)) * int64(len(comp)-1)
+		if max > 0 && float64(internal)/float64(max) >= minDensity {
+			out = append(out, comp)
+		}
+	}
+	return out
+}

@@ -1,0 +1,162 @@
+package baseline
+
+import (
+	"testing"
+
+	"github.com/hinpriv/dehin/internal/anonymize"
+	"github.com/hinpriv/dehin/internal/hin"
+	"github.com/hinpriv/dehin/internal/randx"
+	"github.com/hinpriv/dehin/internal/tqq"
+)
+
+func sybilWorld(t *testing.T) (*tqq.Dataset, hin.LinkTypeID) {
+	t.Helper()
+	cfg := tqq.DefaultConfig(2000, 71)
+	d, err := tqq.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, d.Graph.Schema().MustLinkTypeID(tqq.LinkFollow)
+}
+
+func TestSybilEndToEnd(t *testing.T) {
+	d, follow := sybilWorld(t)
+	rng := randx.New(3)
+	var targets []hin.EntityID
+	for _, v := range rng.SampleWithoutReplacement(d.Graph.NumEntities(), 8) {
+		targets = append(targets, hin.EntityID(v))
+	}
+	planted, plan, err := PlantSybils(d.Graph, SybilConfig{
+		NumSybils:    12,
+		Targets:      targets,
+		LinkType:     follow,
+		InternalProb: 0.5,
+		Seed:         5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if planted.NumEntities() != d.Graph.NumEntities()+12 {
+		t.Fatalf("planted size %d", planted.NumEntities())
+	}
+	// The publisher anonymizes the planted graph.
+	release, err := anonymize.RandomizeIDs(planted, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plan ids refer to the planted graph; recovery works on the release.
+	gang, err := RecoverSybils(release.Graph, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify the recovered gang maps to the true sybils via ground truth.
+	toOrig := release.ToOrig
+	for i, v := range gang {
+		if toOrig[v] != plan.Sybils[i] {
+			t.Fatalf("gang slot %d recovered wrong entity", i)
+		}
+	}
+	// Targets read off correctly.
+	cands, err := IdentifyTargets(release.Graph, plan, gang)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ti, c := range cands {
+		if len(c) != 1 {
+			t.Fatalf("target %d: %d candidates", ti, len(c))
+		}
+		if toOrig[c[0]] != plan.Targets[ti] {
+			t.Fatalf("target %d misidentified", ti)
+		}
+	}
+}
+
+func TestSybilDetection(t *testing.T) {
+	d, follow := sybilWorld(t)
+	targets := []hin.EntityID{1, 2, 3}
+	planted, plan, err := PlantSybils(d.Graph, SybilConfig{
+		NumSybils:    10,
+		Targets:      targets,
+		LinkType:     follow,
+		InternalProb: 0.5,
+		Seed:         7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gangs := DetectSybilGangs(planted, 20, 0.2)
+	if len(gangs) != 1 {
+		t.Fatalf("detected %d gangs, want 1", len(gangs))
+	}
+	want := make(map[hin.EntityID]bool)
+	for _, s := range plan.Sybils {
+		want[s] = true
+	}
+	if len(gangs[0]) != len(plan.Sybils) {
+		t.Fatalf("gang size %d, want %d", len(gangs[0]), len(plan.Sybils))
+	}
+	for _, v := range gangs[0] {
+		if !want[v] {
+			t.Fatalf("detector flagged organic user %d", v)
+		}
+	}
+	// The clean graph has no dense source gangs.
+	if clean := DetectSybilGangs(d.Graph, 20, 0.2); len(clean) != 0 {
+		t.Fatalf("false positives on the clean graph: %d", len(clean))
+	}
+}
+
+func TestPlantSybilsErrors(t *testing.T) {
+	d, follow := sybilWorld(t)
+	base := SybilConfig{NumSybils: 8, Targets: []hin.EntityID{1}, LinkType: follow, InternalProb: 0.5, Seed: 1}
+	cases := []func(*SybilConfig){
+		func(c *SybilConfig) { c.NumSybils = 1 },
+		func(c *SybilConfig) { c.Targets = nil },
+		func(c *SybilConfig) { c.Targets = []hin.EntityID{99999} },
+		func(c *SybilConfig) { c.InternalProb = 0 },
+		func(c *SybilConfig) { c.InternalProb = 1 },
+		func(c *SybilConfig) { c.LinkType = 99 },
+	}
+	for i, mod := range cases {
+		cfg := base
+		mod(&cfg)
+		if _, _, err := PlantSybils(d.Graph, cfg); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestRecoverSybilsFailsWithoutGang(t *testing.T) {
+	d, follow := sybilWorld(t)
+	_, plan, err := PlantSybils(d.Graph, SybilConfig{
+		NumSybils:    10,
+		Targets:      []hin.EntityID{5},
+		LinkType:     follow,
+		InternalProb: 0.5,
+		Seed:         11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Search the CLEAN graph (gang never added): must not "find" it.
+	if _, err := RecoverSybils(d.Graph, plan); err == nil {
+		t.Fatal("recovered a gang that is not there")
+	}
+}
+
+func TestIdentifyTargetsSizeMismatch(t *testing.T) {
+	d, follow := sybilWorld(t)
+	_, plan, err := PlantSybils(d.Graph, SybilConfig{
+		NumSybils:    4,
+		Targets:      []hin.EntityID{5},
+		LinkType:     follow,
+		InternalProb: 0.5,
+		Seed:         13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := IdentifyTargets(d.Graph, plan, []hin.EntityID{1, 2}); err == nil {
+		t.Fatal("gang size mismatch accepted")
+	}
+}

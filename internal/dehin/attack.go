@@ -1,0 +1,401 @@
+package dehin
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"github.com/hinpriv/dehin/internal/bipartite"
+	"github.com/hinpriv/dehin/internal/hin"
+)
+
+// Config parameterizes the DeHIN attack.
+type Config struct {
+	// MaxDistance is n, the maximum distance of utilized neighbors:
+	// 0 compares profiles only; d > 0 recursively compares typed
+	// neighborhoods to depth d.
+	MaxDistance int
+	// LinkTypes are the target-network-schema link types to utilize;
+	// both graphs must share the schema. Empty means all link types.
+	LinkTypes []hin.LinkTypeID
+	// Profile declares how profile attributes match; it also powers the
+	// candidate index. Leave zero only if EntityMatch and a full scan are
+	// acceptable.
+	Profile ProfileSpec
+	// EntityMatch overrides the profile-derived matcher (optional).
+	EntityMatch EntityMatcher
+	// LinkMatch compares strengths; nil means GrowthLinkMatcher.
+	LinkMatch LinkMatcher
+	// UseIndex enables the (gender, yob, ...)-bucketed candidate index.
+	// It requires EntityMatch to imply equality on Profile.ExactAttrs and
+	// auxiliary >= target on the first Profile.GrowAttrs entry, which
+	// holds for the built-in matchers. Disable for exotic matchers.
+	UseIndex bool
+	// SharedIndex supplies a prebuilt index (see NewIndex) so many attack
+	// configurations over the same auxiliary graph can share one. It must
+	// have been built from the same graph and ProfileSpec.
+	SharedIndex *Index
+	// RemoveMajorityStrength preprocesses the target graph by deleting,
+	// per link type, every edge carrying that type's majority strength -
+	// the re-configured DeHIN of Section 6.2 that strips Complete Graph
+	// Anonymity's fake links (and, unavoidably, real links sharing the
+	// majority value; unweighted link types lose all edges).
+	RemoveMajorityStrength bool
+	// FallbackProfileOnly degrades a target whose neighbor matching
+	// eliminates every profile candidate to its profile-only candidate
+	// set. This is the rational adversary's response to Varying Weight
+	// CGA - neighborhoods are unusable, so n collapses to 0 - and
+	// reproduces Figure 8's flat VW-CGA curves.
+	FallbackProfileOnly bool
+	// UseInEdges additionally requires in-neighborhoods to match - an
+	// extension beyond the paper's out-link feature expansion.
+	UseInEdges bool
+	// NeighborTolerance relaxes Algorithm 2 (an extension beyond the
+	// paper): instead of every target neighbor needing a distinct match,
+	// only ceil((1-tolerance) * |N_b|) per link type and direction must
+	// be matched. Zero reproduces the paper exactly; positive values are
+	// the rational adversary's response to edge-perturbation defenses,
+	// which delete or rewire a fraction of real links and would
+	// otherwise eliminate the true counterpart.
+	NeighborTolerance float64
+	// Parallelism bounds concurrent target queries in Run; 0 means
+	// GOMAXPROCS.
+	Parallelism int
+}
+
+// Attack is a DeHIN attacker bound to one auxiliary graph. It is safe for
+// concurrent use once built.
+type Attack struct {
+	aux   *hin.Graph
+	cfg   Config
+	em    EntityMatcher
+	lm    LinkMatcher
+	index *profileIndex
+}
+
+// NewAttack prepares an attack against the given auxiliary graph.
+func NewAttack(aux *hin.Graph, cfg Config) (*Attack, error) {
+	if cfg.MaxDistance < 0 {
+		return nil, fmt.Errorf("dehin: negative MaxDistance")
+	}
+	if cfg.NeighborTolerance < 0 || cfg.NeighborTolerance >= 1 {
+		return nil, fmt.Errorf("dehin: NeighborTolerance %g out of [0,1)", cfg.NeighborTolerance)
+	}
+	if len(cfg.LinkTypes) == 0 {
+		for i := 0; i < aux.Schema().NumLinkTypes(); i++ {
+			cfg.LinkTypes = append(cfg.LinkTypes, hin.LinkTypeID(i))
+		}
+	}
+	for _, lt := range cfg.LinkTypes {
+		if int(lt) >= aux.Schema().NumLinkTypes() {
+			return nil, fmt.Errorf("dehin: link type %d out of range", lt)
+		}
+	}
+	a := &Attack{aux: aux, cfg: cfg}
+	a.em = cfg.EntityMatch
+	if a.em == nil {
+		a.em = cfg.Profile.GrowthMatcher()
+	}
+	a.lm = cfg.LinkMatch
+	if a.lm == nil {
+		a.lm = GrowthLinkMatcher
+	}
+	switch {
+	case cfg.SharedIndex != nil:
+		if cfg.SharedIndex.idx.aux != aux {
+			return nil, fmt.Errorf("dehin: SharedIndex was built from a different auxiliary graph")
+		}
+		a.index = cfg.SharedIndex.idx
+	case cfg.UseIndex:
+		idx, err := buildProfileIndex(aux, cfg.Profile)
+		if err != nil {
+			return nil, err
+		}
+		a.index = idx
+	}
+	return a, nil
+}
+
+// Index is a reusable profile candidate index over one auxiliary graph.
+type Index struct {
+	idx *profileIndex
+}
+
+// NewIndex builds a candidate index for the given auxiliary graph and
+// profile specification, shareable across attacks via Config.SharedIndex.
+func NewIndex(aux *hin.Graph, spec ProfileSpec) (*Index, error) {
+	idx, err := buildProfileIndex(aux, spec)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{idx: idx}, nil
+}
+
+// Aux returns the auxiliary graph the attack is bound to.
+func (a *Attack) Aux() *hin.Graph { return a.aux }
+
+// PrepareTarget applies the attack-side preprocessing to a released target
+// graph (currently majority-strength removal when configured) and returns
+// the graph the matching will actually run on.
+func (a *Attack) PrepareTarget(target *hin.Graph) (*hin.Graph, error) {
+	if !a.cfg.RemoveMajorityStrength {
+		return target, nil
+	}
+	return RemoveMajorityStrengthEdges(target)
+}
+
+// Deanonymize runs Algorithm 1 for one target entity against the prepared
+// target graph, returning the candidate set of auxiliary entities. The
+// caller is responsible for having applied PrepareTarget.
+func (a *Attack) Deanonymize(target *hin.Graph, tv hin.EntityID) []hin.EntityID {
+	profile := a.profileCandidates(target, tv)
+	if a.cfg.MaxDistance == 0 || len(profile) == 0 {
+		return profile
+	}
+	memo := make(map[memoKey]bool)
+	out := make([]hin.EntityID, 0, 4)
+	for _, av := range profile {
+		if a.linkMatch(target, a.cfg.MaxDistance, tv, av, memo) {
+			out = append(out, av)
+		}
+	}
+	if len(out) == 0 && a.cfg.FallbackProfileOnly {
+		return profile
+	}
+	return out
+}
+
+// profileCandidates implements the entity_attribute_match stage of
+// Algorithm 1, via the index when available.
+func (a *Attack) profileCandidates(target *hin.Graph, tv hin.EntityID) []hin.EntityID {
+	var out []hin.EntityID
+	if a.index != nil {
+		for _, av := range a.index.lookup(target, tv) {
+			if a.em(target, a.aux, tv, av) {
+				out = append(out, av)
+			}
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out
+	}
+	for av := 0; av < a.aux.NumEntities(); av++ {
+		if a.em(target, a.aux, tv, hin.EntityID(av)) {
+			out = append(out, hin.EntityID(av))
+		}
+	}
+	return out
+}
+
+type memoKey struct {
+	tv, av hin.EntityID
+	depth  int32
+}
+
+// linkMatch is Algorithm 2: do the typed neighborhoods of target entity tv
+// and auxiliary entity av match to depth n? For each utilized link type,
+// every target neighbor needs a distinct compatible auxiliary neighbor -
+// a perfect left matching in the bipartite candidate graph. Extra
+// auxiliary neighbors are tolerated as links grown during the time gap.
+//
+// The paper's pseudocode recurses with the original pair (v', v); the
+// evident intent - and what makes distance-n meaningful - is to recurse on
+// the neighbor pair (b'_i, b_i), which is what this does. Results are
+// memoized per (target, candidate, depth) across the whole query.
+func (a *Attack) linkMatch(target *hin.Graph, n int, tv, av hin.EntityID, memo map[memoKey]bool) bool {
+	key := memoKey{tv, av, int32(n)}
+	if r, ok := memo[key]; ok {
+		return r
+	}
+	res := a.linkMatchUncached(target, n, tv, av, memo)
+	memo[key] = res
+	return res
+}
+
+func (a *Attack) linkMatchUncached(target *hin.Graph, n int, tv, av hin.EntityID, memo map[memoKey]bool) bool {
+	for _, lt := range a.cfg.LinkTypes {
+		if !a.directionMatch(target, n, tv, av, lt, false, memo) {
+			return false
+		}
+		if a.cfg.UseInEdges && !a.directionMatch(target, n, tv, av, lt, true, memo) {
+			return false
+		}
+	}
+	return true
+}
+
+// directionMatch checks one link type in one direction.
+func (a *Attack) directionMatch(target *hin.Graph, n int, tv, av hin.EntityID, lt hin.LinkTypeID, inEdges bool, memo map[memoKey]bool) bool {
+	var tns []hin.EntityID
+	var tws []int32
+	var ans []hin.EntityID
+	var aws []int32
+	if inEdges {
+		tns, tws = target.InEdges(lt, tv)
+		ans, aws = a.aux.InEdges(lt, av)
+	} else {
+		tns, tws = target.OutEdges(lt, tv)
+		ans, aws = a.aux.OutEdges(lt, av)
+	}
+	need := len(tns)
+	if a.cfg.NeighborTolerance > 0 {
+		// Round the allowance up so small neighborhoods get at least one
+		// forgivable edge - a 10-edge neighborhood at 7% tolerance must
+		// still tolerate a single fake.
+		need = len(tns) - int(math.Ceil(a.cfg.NeighborTolerance*float64(len(tns))))
+	}
+	if need <= 0 || len(tns) == 0 {
+		return true
+	}
+	if need > len(ans) {
+		// Even a maximum matching cannot reach the quota.
+		return false
+	}
+	adj := make([][]int32, len(tns))
+	empties := 0
+	for i, tb := range tns {
+		for j, ab := range ans {
+			if !a.lm(tws[i], aws[j]) {
+				continue
+			}
+			if !a.em(target, a.aux, tb, ab) {
+				continue
+			}
+			if n > 1 && !a.linkMatch(target, n-1, tb, ab, memo) {
+				continue
+			}
+			adj[i] = append(adj[i], int32(j))
+		}
+		if len(adj[i]) == 0 {
+			empties++
+			if len(tns)-empties < need {
+				return false
+			}
+		}
+	}
+	g := bipartite.Graph{NLeft: len(tns), NRight: len(ans), Adj: adj}
+	if need == len(tns) {
+		return bipartite.HasPerfectLeftMatching(g)
+	}
+	_, _, size := bipartite.HopcroftKarp(g)
+	return size >= need
+}
+
+// RemoveMajorityStrengthEdges returns a copy of g without, per link type,
+// the edges carrying that type's most frequent strength. On an unweighted
+// link type every edge carries strength 1, so the whole type is dropped -
+// which is what completing the follow graph costs the defender's victim
+// (Section 6.2).
+func RemoveMajorityStrengthEdges(g *hin.Graph) (*hin.Graph, error) {
+	schema := g.Schema()
+	b := hin.NewBuilder(schema)
+	n := g.NumEntities()
+	for i := 0; i < n; i++ {
+		id := hin.EntityID(i)
+		b.AddEntity(g.EntityType(id), g.Label(id), g.Attrs(id)...)
+		for _, sa := range schema.EntityType(g.EntityType(id)).SetAttrs {
+			if s := g.Set(sa, id); len(s) > 0 {
+				b.SetSet(sa, id, s)
+			}
+		}
+	}
+	for lt := 0; lt < schema.NumLinkTypes(); lt++ {
+		ltid := hin.LinkTypeID(lt)
+		maj, _, ok := hin.MajorityStrength(g, ltid)
+		for v := 0; v < n; v++ {
+			tos, ws := g.OutEdges(ltid, hin.EntityID(v))
+			for j, to := range tos {
+				if ok && ws[j] == maj {
+					continue
+				}
+				if err := b.AddEdge(ltid, hin.EntityID(v), to, ws[j]); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+// TargetOutcome records the attack's result on one target entity.
+type TargetOutcome struct {
+	// Candidates is |C(v')|, the candidate set size.
+	Candidates int
+	// Unique reports |C| == 1; Correct that the unique candidate is the
+	// true counterpart.
+	Unique, Correct bool
+}
+
+// Result aggregates an attack over a whole target graph with the paper's
+// two metrics (Section 6.1).
+type Result struct {
+	// Precision is the fraction of targets de-anonymized by a unique,
+	// correct matching.
+	Precision float64
+	// ReductionRate is the mean of 1 - |C(v')| / |V| over targets.
+	ReductionRate float64
+	// PerTarget holds each target entity's outcome, indexed like the
+	// target graph.
+	PerTarget []TargetOutcome
+}
+
+// Run executes the attack on every entity of the released target graph.
+// truth[i] names the auxiliary entity actually behind target entity i and
+// is used only for scoring. PrepareTarget preprocessing is applied
+// automatically.
+func (a *Attack) Run(target *hin.Graph, truth []hin.EntityID) (Result, error) {
+	if len(truth) != target.NumEntities() {
+		return Result{}, fmt.Errorf("dehin: truth size %d != %d targets", len(truth), target.NumEntities())
+	}
+	prepared, err := a.PrepareTarget(target)
+	if err != nil {
+		return Result{}, err
+	}
+	n := prepared.NumEntities()
+	out := Result{PerTarget: make([]TargetOutcome, n)}
+	workers := a.cfg.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for tv := range next {
+				c := a.Deanonymize(prepared, hin.EntityID(tv))
+				o := TargetOutcome{Candidates: len(c)}
+				if len(c) == 1 {
+					o.Unique = true
+					o.Correct = c[0] == truth[tv]
+				}
+				out.PerTarget[tv] = o
+			}
+		}()
+	}
+	for tv := 0; tv < n; tv++ {
+		next <- tv
+	}
+	close(next)
+	wg.Wait()
+
+	auxN := float64(a.aux.NumEntities())
+	correct, reduction := 0, 0.0
+	for _, o := range out.PerTarget {
+		if o.Correct {
+			correct++
+		}
+		reduction += 1 - float64(o.Candidates)/auxN
+	}
+	out.Precision = float64(correct) / float64(n)
+	out.ReductionRate = reduction / float64(n)
+	return out, nil
+}

@@ -1,0 +1,113 @@
+package dehin
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/hinpriv/dehin/internal/bipartite"
+	"github.com/hinpriv/dehin/internal/hin"
+)
+
+// NeighborPairing records one matched neighbor slot: the target's neighbor
+// was explained by the auxiliary candidate's neighbor via the same link
+// type.
+type NeighborPairing struct {
+	LinkType       hin.LinkTypeID
+	TargetNeighbor hin.EntityID
+	TargetStrength int32
+	AuxNeighbor    hin.EntityID
+	AuxStrength    int32
+}
+
+// MatchExplanation is the evidence DeHIN has for (target entity, auxiliary
+// candidate): a concrete witness assignment of target neighbors to
+// distinct auxiliary neighbors, per link type. It is what an analyst
+// reviews before acting on a de-anonymization claim (the Section 1.1
+// story: "Ada has the same social interactions with the other users of
+// the same gender and age...").
+type MatchExplanation struct {
+	Target, Candidate hin.EntityID
+	// Complete reports whether every target neighbor was matched
+	// (i.e. the boolean Algorithm 2 would accept).
+	Complete bool
+	// Pairings is the witness assignment; unmatched target neighbors
+	// appear in Unmatched.
+	Pairings  []NeighborPairing
+	Unmatched []NeighborPairing // AuxNeighbor fields zeroed
+}
+
+// ExplainMatch reconstructs the matching evidence for one
+// (target, candidate) pair at the attack's configured distance. The
+// candidate need not have been accepted; for a rejected candidate the
+// explanation shows exactly which neighbor slots could not be filled.
+func (a *Attack) ExplainMatch(target *hin.Graph, tv, av hin.EntityID) *MatchExplanation {
+	ex := &MatchExplanation{Target: tv, Candidate: av, Complete: true}
+	memo := make(map[memoKey]bool)
+	for _, lt := range a.cfg.LinkTypes {
+		tns, tws := target.OutEdges(lt, tv)
+		ans, aws := a.aux.OutEdges(lt, av)
+		if len(tns) == 0 {
+			continue
+		}
+		adj := make([][]int32, len(tns))
+		for i, tb := range tns {
+			for j, ab := range ans {
+				if !a.lm(tws[i], aws[j]) {
+					continue
+				}
+				if !a.em(target, a.aux, tb, ab) {
+					continue
+				}
+				if a.cfg.MaxDistance > 1 && !a.linkMatch(target, a.cfg.MaxDistance-1, tb, ab, memo) {
+					continue
+				}
+				adj[i] = append(adj[i], int32(j))
+			}
+		}
+		matchL, _, _ := bipartite.HopcroftKarp(bipartite.Graph{
+			NLeft:  len(tns),
+			NRight: len(ans),
+			Adj:    adj,
+		})
+		for i, tb := range tns {
+			if matchL[i] == bipartite.NoMatch {
+				ex.Complete = false
+				ex.Unmatched = append(ex.Unmatched, NeighborPairing{
+					LinkType:       lt,
+					TargetNeighbor: tb,
+					TargetStrength: tws[i],
+				})
+				continue
+			}
+			j := matchL[i]
+			ex.Pairings = append(ex.Pairings, NeighborPairing{
+				LinkType:       lt,
+				TargetNeighbor: tb,
+				TargetStrength: tws[i],
+				AuxNeighbor:    ans[j],
+				AuxStrength:    aws[j],
+			})
+		}
+	}
+	return ex
+}
+
+// Render writes the explanation with human-readable labels from the two
+// graphs.
+func (ex *MatchExplanation) Render(target, aux *hin.Graph) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "target %q vs candidate %q: complete=%v, %d matched, %d unmatched\n",
+		target.Label(ex.Target), aux.Label(ex.Candidate), ex.Complete,
+		len(ex.Pairings), len(ex.Unmatched))
+	name := func(lt hin.LinkTypeID) string { return aux.Schema().LinkType(lt).Name }
+	for _, p := range ex.Pairings {
+		fmt.Fprintf(&b, "  %s(%d): %q  <->  %s(%d): %q\n",
+			name(p.LinkType), p.TargetStrength, target.Label(p.TargetNeighbor),
+			name(p.LinkType), p.AuxStrength, aux.Label(p.AuxNeighbor))
+	}
+	for _, p := range ex.Unmatched {
+		fmt.Fprintf(&b, "  %s(%d): %q  <->  UNMATCHED\n",
+			name(p.LinkType), p.TargetStrength, target.Label(p.TargetNeighbor))
+	}
+	return b.String()
+}

@@ -1,0 +1,78 @@
+package dehin
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/hinpriv/dehin/internal/hin"
+	"github.com/hinpriv/dehin/internal/tqq"
+)
+
+func TestExplainMatchAccepted(t *testing.T) {
+	aux := buildAux(t)
+	target := buildTarget(t)
+	a := newTQQAttack(t, aux, Config{MaxDistance: 1})
+	// Ada (entity 0 in aux) is a real candidate for A3H (target 0).
+	ex := a.ExplainMatch(target, 0, 0)
+	if !ex.Complete {
+		t.Fatalf("Ada should explain A3H completely: %+v", ex)
+	}
+	// Two neighbor slots: mention->F8P and follow->M7R.
+	if len(ex.Pairings) != 2 || len(ex.Unmatched) != 0 {
+		t.Fatalf("pairings=%d unmatched=%d", len(ex.Pairings), len(ex.Unmatched))
+	}
+	out := ex.Render(target, aux)
+	for _, want := range []string{"A3H", "Ada", "complete=true", "mention(5)", "Cyn"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplainMatchRejected(t *testing.T) {
+	aux := buildAux(t)
+	target := buildTarget(t)
+	a := newTQQAttack(t, aux, Config{MaxDistance: 1})
+	// Bob (entity 1) mentions only Dan; A3H's mention of F8P-like Cyn
+	// cannot be explained.
+	ex := a.ExplainMatch(target, 0, 1)
+	if ex.Complete {
+		t.Fatal("Bob should not explain A3H")
+	}
+	if len(ex.Unmatched) == 0 {
+		t.Fatal("expected unmatched slots")
+	}
+	out := ex.Render(target, aux)
+	if !strings.Contains(out, "UNMATCHED") {
+		t.Fatalf("render missing UNMATCHED:\n%s", out)
+	}
+}
+
+func TestExplainMatchAgreesWithBoolean(t *testing.T) {
+	cfg := tqq.DefaultConfig(1000, 81)
+	cfg.Communities = []tqq.CommunitySpec{{Size: 120, Density: 0.01}}
+	d, err := tqq.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := newTQQAttack(t, d.Graph, Config{MaxDistance: 2})
+	tgt, _, err := d.Graph.Induced(d.Communities[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For accepted candidates the explanation must be complete; for the
+	// profile candidates the boolean filter rejected, incomplete.
+	for tv := 0; tv < 25; tv++ {
+		accepted := make(map[int32]bool)
+		for _, av := range a.Deanonymize(tgt, hin.EntityID(tv)) {
+			accepted[int32(av)] = true
+		}
+		for _, rc := range a.DeanonymizeRanked(tgt, hin.EntityID(tv)) {
+			ex := a.ExplainMatch(tgt, hin.EntityID(tv), rc.Entity)
+			if accepted[int32(rc.Entity)] != ex.Complete {
+				t.Fatalf("target %d candidate %d: boolean %v vs explanation %v",
+					tv, rc.Entity, accepted[int32(rc.Entity)], ex.Complete)
+			}
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package dehin
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/hinpriv/dehin/internal/hin"
+)
+
+// profileIndex buckets auxiliary entities by their exact-match attribute
+// tuple and sorts each bucket descending by the primary growable attribute,
+// so a candidate lookup scans only entities that can still satisfy
+// "auxiliary >= target" on that attribute. With the t.qq profile this is a
+// (yob, gender) index ordered by tweet count - it turns Algorithm 1's scan
+// over millions of auxiliary users into a few hundred comparisons.
+type profileIndex struct {
+	aux     *hin.Graph
+	spec    ProfileSpec
+	buckets map[string][]hin.EntityID // each sorted desc by primary grow attr
+	primary int                       // attr index used for ordering, -1 if none
+}
+
+func buildProfileIndex(aux *hin.Graph, spec ProfileSpec) (*profileIndex, error) {
+	idx := &profileIndex{
+		aux:     aux,
+		spec:    spec,
+		buckets: make(map[string][]hin.EntityID),
+		primary: -1,
+	}
+	if len(spec.GrowAttrs) > 0 {
+		idx.primary = spec.GrowAttrs[0]
+	}
+	for v := 0; v < aux.NumEntities(); v++ {
+		key, err := profileKey(aux, hin.EntityID(v), spec.ExactAttrs)
+		if err != nil {
+			return nil, err
+		}
+		idx.buckets[key] = append(idx.buckets[key], hin.EntityID(v))
+	}
+	if idx.primary >= 0 {
+		for _, b := range idx.buckets {
+			sort.Slice(b, func(i, j int) bool {
+				return aux.Attr(b[i], idx.primary) > aux.Attr(b[j], idx.primary)
+			})
+		}
+	}
+	return idx, nil
+}
+
+// profileKey encodes the exact-match attribute tuple of v. An empty
+// ExactAttrs list maps every entity to one bucket.
+func profileKey(g *hin.Graph, v hin.EntityID, exact []int) (string, error) {
+	var b []byte
+	for _, ai := range exact {
+		if ai < 0 || ai >= g.NumAttrs(v) {
+			return "", fmt.Errorf("dehin: profile attr %d out of range for entity %d", ai, v)
+		}
+		x := g.Attr(v, ai)
+		for i := 0; i < 8; i++ {
+			b = append(b, byte(x))
+			x >>= 8
+		}
+	}
+	return string(b), nil
+}
+
+// lookup returns the auxiliary entities whose exact attributes equal the
+// target's and whose primary growable attribute is >= the target's. The
+// caller still applies the full entity matcher to each.
+func (idx *profileIndex) lookup(target *hin.Graph, tv hin.EntityID) []hin.EntityID {
+	key, err := profileKey(target, tv, idx.spec.ExactAttrs)
+	if err != nil {
+		return nil
+	}
+	bucket := idx.buckets[key]
+	if idx.primary < 0 {
+		return bucket
+	}
+	want := target.Attr(tv, idx.primary)
+	// Bucket is sorted descending; entries [0, i) have attr >= want.
+	i := sort.Search(len(bucket), func(i int) bool {
+		return idx.aux.Attr(bucket[i], idx.primary) < want
+	})
+	return bucket[:i]
+}

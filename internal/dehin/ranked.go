@@ -1,0 +1,105 @@
+package dehin
+
+import (
+	"sort"
+
+	"github.com/hinpriv/dehin/internal/bipartite"
+	"github.com/hinpriv/dehin/internal/hin"
+)
+
+// RankedCandidate is one auxiliary candidate with its neighborhood match
+// score.
+type RankedCandidate struct {
+	Entity hin.EntityID
+	// Score is the fraction of the target's neighbor slots (across
+	// utilized link types and directions) that a maximum matching can
+	// fill against this candidate, in [0, 1]. Exact candidates (the ones
+	// Deanonymize returns at tolerance 0) score 1.
+	Score float64
+}
+
+// DeanonymizeRanked runs Algorithm 1's candidate generation but instead of
+// the boolean accept/reject of Algorithm 2 it scores every profile
+// candidate by how much of the target's typed neighborhood it can absorb,
+// returning all candidates sorted by descending score (ties broken by
+// entity id).
+//
+// This operationalizes the paper's reduction-rate observation: "even when
+// precision is relatively low ... high reduction rate makes manual
+// investigation of matched candidates possibly practical" - an analyst
+// works the ranked list from the top.
+func (a *Attack) DeanonymizeRanked(target *hin.Graph, tv hin.EntityID) []RankedCandidate {
+	profile := a.profileCandidates(target, tv)
+	out := make([]RankedCandidate, 0, len(profile))
+	memo := make(map[memoKey]bool)
+	for _, av := range profile {
+		out = append(out, RankedCandidate{
+			Entity: av,
+			Score:  a.neighborhoodScore(target, tv, av, memo),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Entity < out[j].Entity
+	})
+	return out
+}
+
+// neighborhoodScore computes matched-slots / total-slots at depth
+// cfg.MaxDistance (depth 0 scores every profile candidate 1).
+func (a *Attack) neighborhoodScore(target *hin.Graph, tv, av hin.EntityID, memo map[memoKey]bool) float64 {
+	if a.cfg.MaxDistance == 0 {
+		return 1
+	}
+	totalSlots, matchedSlots := 0, 0
+	count := func(lt hin.LinkTypeID, inEdges bool) {
+		var tns []hin.EntityID
+		var tws []int32
+		var ans []hin.EntityID
+		var aws []int32
+		if inEdges {
+			tns, tws = target.InEdges(lt, tv)
+			ans, aws = a.aux.InEdges(lt, av)
+		} else {
+			tns, tws = target.OutEdges(lt, tv)
+			ans, aws = a.aux.OutEdges(lt, av)
+		}
+		if len(tns) == 0 {
+			return
+		}
+		totalSlots += len(tns)
+		adj := make([][]int32, len(tns))
+		for i, tb := range tns {
+			for j, ab := range ans {
+				if !a.lm(tws[i], aws[j]) {
+					continue
+				}
+				if !a.em(target, a.aux, tb, ab) {
+					continue
+				}
+				if a.cfg.MaxDistance > 1 && !a.linkMatch(target, a.cfg.MaxDistance-1, tb, ab, memo) {
+					continue
+				}
+				adj[i] = append(adj[i], int32(j))
+			}
+		}
+		_, _, size := bipartite.HopcroftKarp(bipartite.Graph{
+			NLeft:  len(tns),
+			NRight: len(ans),
+			Adj:    adj,
+		})
+		matchedSlots += size
+	}
+	for _, lt := range a.cfg.LinkTypes {
+		count(lt, false)
+		if a.cfg.UseInEdges {
+			count(lt, true)
+		}
+	}
+	if totalSlots == 0 {
+		return 1
+	}
+	return float64(matchedSlots) / float64(totalSlots)
+}

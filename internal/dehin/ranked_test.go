@@ -1,0 +1,101 @@
+package dehin
+
+import (
+	"testing"
+
+	"github.com/hinpriv/dehin/internal/hin"
+	"github.com/hinpriv/dehin/internal/randx"
+	"github.com/hinpriv/dehin/internal/tqq"
+)
+
+func TestDeanonymizeRankedOrdersTruthFirst(t *testing.T) {
+	cfg := tqq.DefaultConfig(2000, 51)
+	cfg.Communities = []tqq.CommunitySpec{{Size: 250, Density: 0.01}}
+	d, err := tqq.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, err := tqq.CommunityTarget(d, 0, randx.New(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := newTQQAttack(t, d.Graph, Config{MaxDistance: 1})
+	topHits, checked := 0, 0
+	for tv := 0; tv < 60; tv++ {
+		ranked := a.DeanonymizeRanked(tgt.Graph, hin.EntityID(tv))
+		if len(ranked) == 0 {
+			continue
+		}
+		checked++
+		// Scores sorted descending and within [0,1].
+		for i, rc := range ranked {
+			if rc.Score < 0 || rc.Score > 1 {
+				t.Fatalf("score out of range: %v", rc)
+			}
+			if i > 0 && rc.Score > ranked[i-1].Score {
+				t.Fatalf("ranking not sorted at %d", i)
+			}
+		}
+		// The true counterpart must score a perfect 1 (it absorbs every
+		// neighbor slot) and therefore sit in the top score band.
+		var truthScore float64 = -1
+		for _, rc := range ranked {
+			if rc.Entity == tgt.Orig[tv] {
+				truthScore = rc.Score
+			}
+		}
+		if truthScore != 1 {
+			t.Fatalf("target %d: truth score %g, want 1", tv, truthScore)
+		}
+		if ranked[0].Entity == tgt.Orig[tv] || ranked[0].Score == 1 {
+			topHits++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no targets had candidates")
+	}
+	if topHits != checked {
+		t.Fatalf("top of ranking missed a perfect score: %d/%d", topHits, checked)
+	}
+}
+
+func TestDeanonymizeRankedConsistentWithBoolean(t *testing.T) {
+	cfg := tqq.DefaultConfig(1200, 52)
+	cfg.Communities = []tqq.CommunitySpec{{Size: 150, Density: 0.01}}
+	d, err := tqq.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, err := tqq.CommunityTarget(d, 0, randx.New(18))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := newTQQAttack(t, d.Graph, Config{MaxDistance: 2})
+	for tv := 0; tv < 40; tv++ {
+		exact := a.Deanonymize(tgt.Graph, hin.EntityID(tv))
+		isExact := make(map[hin.EntityID]bool, len(exact))
+		for _, v := range exact {
+			isExact[v] = true
+		}
+		for _, rc := range a.DeanonymizeRanked(tgt.Graph, hin.EntityID(tv)) {
+			if isExact[rc.Entity] && rc.Score != 1 {
+				t.Fatalf("boolean-accepted candidate %d scored %g", rc.Entity, rc.Score)
+			}
+		}
+	}
+}
+
+func TestDeanonymizeRankedDistanceZero(t *testing.T) {
+	aux := buildAux(t)
+	target := buildTarget(t)
+	a := newTQQAttack(t, aux, Config{MaxDistance: 0})
+	ranked := a.DeanonymizeRanked(target, 0)
+	if len(ranked) != 2 {
+		t.Fatalf("ranked = %v", ranked)
+	}
+	for _, rc := range ranked {
+		if rc.Score != 1 {
+			t.Fatalf("distance-0 scores must be 1: %v", rc)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package dehin
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Report summarizes an attack Result the way an auditor reads it: how the
+// candidate-set sizes distribute, what the residual anonymity is, and the
+// paper's two headline metrics.
+type Report struct {
+	Targets       int
+	Precision     float64
+	ReductionRate float64
+	// UniqueCorrect / UniqueWrong / Ambiguous / Eliminated partition the
+	// targets by outcome: exactly one candidate (right or wrong), more
+	// than one, or none.
+	UniqueCorrect, UniqueWrong, Ambiguous, Eliminated int
+	// MeanCandidates and MedianCandidates describe |C(v')|.
+	MeanCandidates   float64
+	MedianCandidates int
+	// MeanGuessProb is the mean of 1/|C| over non-empty candidate sets -
+	// the adversary's expected random-guess success after reduction,
+	// mirroring the paper's 1/k(t) mathematical factor.
+	MeanGuessProb float64
+	// Histogram buckets candidate-set sizes: 0, 1, 2-10, 11-100, >100.
+	Histogram [5]int
+}
+
+// NewReport derives a Report from a Result.
+func NewReport(res Result) Report {
+	r := Report{
+		Targets:       len(res.PerTarget),
+		Precision:     res.Precision,
+		ReductionRate: res.ReductionRate,
+	}
+	sizes := make([]int, 0, len(res.PerTarget))
+	var sum float64
+	var guess float64
+	for _, o := range res.PerTarget {
+		sizes = append(sizes, o.Candidates)
+		sum += float64(o.Candidates)
+		switch {
+		case o.Candidates == 0:
+			r.Eliminated++
+			r.Histogram[0]++
+		case o.Candidates == 1:
+			if o.Correct {
+				r.UniqueCorrect++
+			} else {
+				r.UniqueWrong++
+			}
+			r.Histogram[1]++
+		default:
+			r.Ambiguous++
+			switch {
+			case o.Candidates <= 10:
+				r.Histogram[2]++
+			case o.Candidates <= 100:
+				r.Histogram[3]++
+			default:
+				r.Histogram[4]++
+			}
+		}
+		if o.Candidates > 0 {
+			guess += 1 / float64(o.Candidates)
+		}
+	}
+	if r.Targets > 0 {
+		r.MeanCandidates = sum / float64(r.Targets)
+		sort.Ints(sizes)
+		r.MedianCandidates = sizes[r.Targets/2]
+		r.MeanGuessProb = guess / float64(r.Targets)
+	}
+	return r
+}
+
+// String renders the report as a short multi-line audit block.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "targets: %d\n", r.Targets)
+	fmt.Fprintf(&b, "precision: %.1f%%   reduction rate: %.3f%%\n",
+		r.Precision*100, r.ReductionRate*100)
+	fmt.Fprintf(&b, "outcomes: %d unique-correct, %d unique-wrong, %d ambiguous, %d eliminated\n",
+		r.UniqueCorrect, r.UniqueWrong, r.Ambiguous, r.Eliminated)
+	fmt.Fprintf(&b, "candidates: mean %.1f, median %d, mean guess probability %.4f\n",
+		r.MeanCandidates, r.MedianCandidates, r.MeanGuessProb)
+	fmt.Fprintf(&b, "|C| histogram: 0:%d  1:%d  2-10:%d  11-100:%d  >100:%d\n",
+		r.Histogram[0], r.Histogram[1], r.Histogram[2], r.Histogram[3], r.Histogram[4])
+	return b.String()
+}
+
+// EffectiveAnonymity returns the residual k-anonymity the attack leaves: a
+// target with |C| candidates can only be guessed with probability 1/|C|,
+// so the value is the harmonic-style summary floor(1/MeanGuessProb), or
+// MaxInt if no target retained any candidate.
+func (r Report) EffectiveAnonymity() int {
+	if r.MeanGuessProb <= 0 {
+		return math.MaxInt
+	}
+	return int(1 / r.MeanGuessProb)
+}

@@ -1,0 +1,74 @@
+package dehin
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleResult() Result {
+	return Result{
+		Precision:     0.5,
+		ReductionRate: 0.999,
+		PerTarget: []TargetOutcome{
+			{Candidates: 1, Unique: true, Correct: true},
+			{Candidates: 1, Unique: true, Correct: false},
+			{Candidates: 4},
+			{Candidates: 0},
+			{Candidates: 50},
+			{Candidates: 200},
+		},
+	}
+}
+
+func TestNewReport(t *testing.T) {
+	r := NewReport(sampleResult())
+	if r.Targets != 6 {
+		t.Fatalf("targets = %d", r.Targets)
+	}
+	if r.UniqueCorrect != 1 || r.UniqueWrong != 1 || r.Ambiguous != 3 || r.Eliminated != 1 {
+		t.Fatalf("outcomes = %+v", r)
+	}
+	if r.Histogram != [5]int{1, 2, 1, 1, 1} {
+		t.Fatalf("histogram = %v", r.Histogram)
+	}
+	wantMean := (1.0 + 1 + 4 + 0 + 50 + 200) / 6
+	if math.Abs(r.MeanCandidates-wantMean) > 1e-9 {
+		t.Fatalf("mean = %g, want %g", r.MeanCandidates, wantMean)
+	}
+	if r.MedianCandidates != 4 {
+		t.Fatalf("median = %d", r.MedianCandidates)
+	}
+	wantGuess := (1.0 + 1 + 0.25 + 0.02 + 0.005) / 6
+	if math.Abs(r.MeanGuessProb-wantGuess) > 1e-9 {
+		t.Fatalf("guess prob = %g, want %g", r.MeanGuessProb, wantGuess)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	out := NewReport(sampleResult()).String()
+	for _, want := range []string{"targets: 6", "precision: 50.0%", "1 unique-correct", "histogram"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEffectiveAnonymity(t *testing.T) {
+	r := NewReport(sampleResult())
+	want := int(1 / r.MeanGuessProb)
+	if got := r.EffectiveAnonymity(); got != want {
+		t.Fatalf("effective anonymity = %d, want %d", got, want)
+	}
+	empty := NewReport(Result{PerTarget: []TargetOutcome{{Candidates: 0}}})
+	if empty.EffectiveAnonymity() != math.MaxInt {
+		t.Fatal("all-eliminated should report MaxInt anonymity")
+	}
+}
+
+func TestReportEmpty(t *testing.T) {
+	r := NewReport(Result{})
+	if r.Targets != 0 || r.MeanCandidates != 0 {
+		t.Fatalf("empty report: %+v", r)
+	}
+}

@@ -1,0 +1,239 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Runner regenerates one paper artifact (or ablation) on a prepared
+// workbench, returning the rendered tables.
+type Runner func(*Workbench) ([]*Table, error)
+
+// Registry maps experiment ids (DESIGN.md's per-experiment index) to
+// runners.
+func Registry() map[string]Runner {
+	return map[string]Runner{
+		"table1": func(w *Workbench) ([]*Table, error) {
+			r, err := RunTable1(w)
+			if err != nil {
+				return nil, err
+			}
+			return []*Table{r.Render()}, nil
+		},
+		"figure7": func(w *Workbench) ([]*Table, error) {
+			r, err := RunTable1(w)
+			if err != nil {
+				return nil, err
+			}
+			return []*Table{RunFigure7(r).Render()}, nil
+		},
+		"table2": func(w *Workbench) ([]*Table, error) {
+			r, err := RunTable2(w)
+			if err != nil {
+				return nil, err
+			}
+			return []*Table{r.Render()}, nil
+		},
+		"table3": func(w *Workbench) ([]*Table, error) {
+			r, err := RunTable3(w)
+			if err != nil {
+				return nil, err
+			}
+			return []*Table{r.Render()}, nil
+		},
+		"figure9": func(w *Workbench) ([]*Table, error) {
+			r, err := RunTable3(w)
+			if err != nil {
+				return nil, err
+			}
+			return []*Table{RunFigure9(r).Render()}, nil
+		},
+		"table4": func(w *Workbench) ([]*Table, error) {
+			r, err := RunTable4(w)
+			if err != nil {
+				return nil, err
+			}
+			return []*Table{r.Render()}, nil
+		},
+		"figure8": func(w *Workbench) ([]*Table, error) {
+			r, err := RunFigure8(w)
+			if err != nil {
+				return nil, err
+			}
+			return []*Table{r.Render()}, nil
+		},
+		"ablation-growth": func(w *Workbench) ([]*Table, error) {
+			r, err := RunGrowthAblation(w)
+			if err != nil {
+				return nil, err
+			}
+			return []*Table{r.Render()}, nil
+		},
+		"ablation-baseline": func(w *Workbench) ([]*Table, error) {
+			r, err := RunBaselineAblation(w)
+			if err != nil {
+				return nil, err
+			}
+			return []*Table{r.Render()}, nil
+		},
+		"ablation-homog": func(w *Workbench) ([]*Table, error) {
+			r, err := RunHomogeneousAblation(w)
+			if err != nil {
+				return nil, err
+			}
+			return []*Table{r.Render()}, nil
+		},
+		"utility": func(w *Workbench) ([]*Table, error) {
+			r, err := RunUtility(w)
+			if err != nil {
+				return nil, err
+			}
+			return []*Table{r.Render()}, nil
+		},
+		"ablation-perturb": func(w *Workbench) ([]*Table, error) {
+			r, err := RunPerturbAblation(w)
+			if err != nil {
+				return nil, err
+			}
+			return []*Table{r.Render()}, nil
+		},
+		"obscurity": func(w *Workbench) ([]*Table, error) {
+			r, err := RunObscurity(w)
+			if err != nil {
+				return nil, err
+			}
+			return []*Table{r.Render()}, nil
+		},
+		"ablation-bottleneck": func(w *Workbench) ([]*Table, error) {
+			r, err := RunBottleneck(w)
+			if err != nil {
+				return nil, err
+			}
+			return []*Table{r.Render()}, nil
+		},
+	}
+}
+
+// Names lists the registered experiment ids, sorted.
+func Names() []string {
+	reg := Registry()
+	out := make([]string, 0, len(reg))
+	for k := range reg {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one experiment by id on a fresh workbench.
+func Run(id string, p Params) ([]*Table, error) {
+	r, ok := Registry()[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, Names())
+	}
+	w, err := NewWorkbench(p)
+	if err != nil {
+		return nil, err
+	}
+	return r(w)
+}
+
+// RunAll executes every experiment on one shared workbench, computing the
+// expensive sweeps once: Table 1 also yields Figure 7, Table 3 yields
+// Figure 9, and Table 2 plus the two CGA sweeps yield Table 4 and
+// Figure 8.
+func RunAll(p Params) ([]*Table, error) {
+	return RunAllTo(nil, p)
+}
+
+// RunAllTo is RunAll streaming each rendered table (with a timing line) to
+// w as soon as it is computed; pass nil to collect silently.
+func RunAllTo(sink io.Writer, p Params) ([]*Table, error) {
+	w, err := NewWorkbench(p)
+	if err != nil {
+		return nil, err
+	}
+	if sink != nil {
+		fmt.Fprintf(sink, "workbench ready: %d users, %d edges\n\n",
+			w.Dataset.Graph.NumEntities(), w.Dataset.Graph.NumEdgesTotal())
+	}
+	var out []*Table
+	last := time.Now()
+	add := func(t *Table) {
+		out = append(out, t)
+		if sink != nil {
+			fmt.Fprintf(sink, "%s[%v]\n\n", t, time.Since(last).Round(time.Millisecond))
+			last = time.Now()
+		}
+	}
+
+	t1, err := RunTable1(w)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: table1: %w", err)
+	}
+	add(t1.Render())
+	add(RunFigure7(t1).Render())
+
+	t2, err := RunTable2(w)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: table2: %w", err)
+	}
+	add(t2.Render())
+
+	t3, err := RunTable3(w)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: table3: %w", err)
+	}
+	add(t3.Render())
+	add(RunFigure9(t3).Render())
+
+	cga, err := runCGASweep(w, false)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: table4: %w", err)
+	}
+	add(cga.Render())
+	vw, err := runCGASweep(w, true)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: figure8: %w", err)
+	}
+	add(figure8From(p, t2, cga, vw).Render())
+
+	growth, err := RunGrowthAblation(w)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: ablation-growth: %w", err)
+	}
+	add(growth.Render())
+	base, err := RunBaselineAblation(w)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: ablation-baseline: %w", err)
+	}
+	add(base.Render())
+	homog, err := RunHomogeneousAblation(w)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: ablation-homog: %w", err)
+	}
+	add(homog.Render())
+	util, err := RunUtility(w)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: utility: %w", err)
+	}
+	add(util.Render())
+	perturb, err := RunPerturbAblation(w)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: ablation-perturb: %w", err)
+	}
+	add(perturb.Render())
+	bottleneck, err := RunBottleneck(w)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: ablation-bottleneck: %w", err)
+	}
+	add(bottleneck.Render())
+	obscurity, err := RunObscurity(w)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: obscurity: %w", err)
+	}
+	add(obscurity.Render())
+	return out, nil
+}

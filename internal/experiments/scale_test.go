@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"github.com/hinpriv/dehin/internal/dehin"
+)
+
+// TestLargeScale exercises the generation and attack pipeline at a large
+// auxiliary size (default 500k users; the paper's 2.3M fits the same data
+// structures). It is opt-in because it needs several GB of memory:
+//
+//	DEHIN_LARGE=500000 go test ./internal/experiments/ -run TestLargeScale -v
+func TestLargeScale(t *testing.T) {
+	env := os.Getenv("DEHIN_LARGE")
+	if env == "" {
+		t.Skip("set DEHIN_LARGE=<users> to run the large-scale pipeline test")
+	}
+	users, err := strconv.Atoi(env)
+	if err != nil || users < 10000 {
+		t.Fatalf("bad DEHIN_LARGE %q", env)
+	}
+	start := time.Now()
+	p := Params{
+		Seed:              1,
+		AuxUsers:          users,
+		TargetSize:        1000,
+		SamplesPerDensity: 1,
+		Densities:         []float64{0.01},
+		Distances:         []int{0, 1},
+	}
+	w, err := NewWorkbench(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("generated %d users, %d edges in %v",
+		w.Dataset.Graph.NumEntities(), w.Dataset.Graph.NumEdgesTotal(),
+		time.Since(start).Round(time.Millisecond))
+
+	targets, err := w.Targets(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := w.Attack(dehin.Config{MaxDistance: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := time.Now()
+	res, err := a.Run(targets[0].Graph, targets[0].Truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("attack on 1000 targets vs %d-user aux: precision %.1f%%, reduction %.3f%%, %v",
+		users, res.Precision*100, res.ReductionRate*100, time.Since(mid).Round(time.Millisecond))
+	if res.Precision < 0.5 {
+		t.Fatalf("density-0.01 precision collapsed at scale: %g", res.Precision)
+	}
+	if res.ReductionRate < 0.999 {
+		t.Fatalf("reduction rate %g", res.ReductionRate)
+	}
+	// Spot-check the generator's profile calibration holds at scale.
+	if c := len(w.Dataset.Communities[0]); c != 1000 {
+		t.Fatalf("community size %d", c)
+	}
+}

@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/hinpriv/dehin/internal/risk"
+	"github.com/hinpriv/dehin/internal/tqq"
+)
+
+// Table1Result reproduces Table 1 (and feeds Figure 7): the privacy risk
+// of the anonymized density-0.01 target network as the utilized link types
+// and the max distance of utilized neighbors grow.
+type Table1Result struct {
+	Params Params
+	// Density is the density of the analyzed targets (the paper's 0.01 -
+	// here the largest swept density).
+	Density float64
+	// Distances are the max-distance columns (>= 1; distance 0 is the
+	// constant RiskAtZero, as in the paper's footnote).
+	Distances []int
+	// Subsets are the 15 link-type subsets in paper order.
+	Subsets []string
+	// Risk[si][di] is the mean risk for subset si at Distances[di].
+	Risk [][]float64
+	// RiskAtZero is the n=0 risk (profile-only; numtags cardinality / N).
+	RiskAtZero float64
+}
+
+// RunTable1 evaluates privacy risk per Theorem 1 on the released targets
+// of the largest density, sweeping link-type subsets and distances.
+// Entity cardinality uses only the number of tags, per Section 6.1.
+func RunTable1(w *Workbench) (*Table1Result, error) {
+	p := w.Params
+	di := len(p.Densities) - 1
+	targets, err := w.Targets(di)
+	if err != nil {
+		return nil, err
+	}
+	var distances []int
+	for _, n := range p.Distances {
+		if n >= 1 {
+			distances = append(distances, n)
+		}
+	}
+	if len(distances) == 0 {
+		return nil, fmt.Errorf("experiments: table1 needs a distance >= 1")
+	}
+	subsets := LinkSubsets(w.Dataset.Graph.Schema())
+	res := &Table1Result{
+		Params:    p,
+		Density:   p.Densities[di],
+		Distances: distances,
+	}
+	for _, s := range subsets {
+		res.Subsets = append(res.Subsets, s.Name)
+		row := make([]float64, len(distances))
+		for ni, n := range distances {
+			sum := 0.0
+			for _, rt := range targets {
+				r, err := risk.NetworkRisk(rt.Graph, risk.SignatureConfig{
+					MaxDistance: n,
+					LinkTypes:   s.Links,
+					EntityAttrs: []int{tqq.AttrNumTags},
+				})
+				if err != nil {
+					return nil, err
+				}
+				sum += r
+			}
+			row[ni] = sum / float64(len(targets))
+		}
+		res.Risk = append(res.Risk, row)
+	}
+	r0 := 0.0
+	for _, rt := range targets {
+		r, err := risk.NetworkRisk(rt.Graph, risk.SignatureConfig{
+			MaxDistance: 0,
+			EntityAttrs: []int{tqq.AttrNumTags},
+		})
+		if err != nil {
+			return nil, err
+		}
+		r0 += r
+	}
+	res.RiskAtZero = r0 / float64(len(targets))
+	return res, nil
+}
+
+// Render lays the result out like the paper's Table 1.
+func (r *Table1Result) Render() *Table {
+	t := &Table{
+		Title:  fmt.Sprintf("Table 1: Privacy risk of the anonymized t.qq-style network (density %g, size %d), in percent", r.Density, r.Params.TargetSize),
+		Header: []string{"Types of Links \\ Max Distance"},
+	}
+	for _, n := range r.Distances {
+		t.Header = append(t.Header, fmt.Sprintf("%d", n))
+	}
+	for si, name := range r.Subsets {
+		row := []string{name}
+		for ni := range r.Distances {
+			row = append(row, pct(r.Risk[si][ni]))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"f: follow; m: mention; r: retweet; c: comment",
+		fmt.Sprintf("n = 0: only target entities' profiles are utilized and risk is always %s%%", pct(r.RiskAtZero)),
+	)
+	return t
+}
+
+// Figure7Result averages Table 1's risk over subsets with the same number
+// of link types, per distance 0..max - the paper's Figure 7 series.
+type Figure7Result struct {
+	Params Params
+	// Distances includes 0.
+	Distances []int
+	// Series[k-1][di] is the mean risk using k link types at
+	// Distances[di].
+	Series [][]float64
+}
+
+// RunFigure7 derives Figure 7 from a Table 1 run.
+func RunFigure7(t1 *Table1Result) *Figure7Result {
+	res := &Figure7Result{
+		Params:    t1.Params,
+		Distances: append([]int{0}, t1.Distances...),
+	}
+	for k := 1; k <= 4; k++ {
+		series := make([]float64, len(res.Distances))
+		series[0] = t1.RiskAtZero
+		count := 0
+		for si, name := range t1.Subsets {
+			if subsetSize(name) != k {
+				continue
+			}
+			count++
+			for ni := range t1.Distances {
+				series[ni+1] += t1.Risk[si][ni]
+			}
+		}
+		for ni := 1; ni < len(series); ni++ {
+			series[ni] /= float64(count)
+		}
+		res.Series = append(res.Series, series)
+	}
+	return res
+}
+
+// subsetSize counts the link types in a subset name like "f-m-c".
+func subsetSize(name string) int {
+	n := 1
+	for _, c := range name {
+		if c == '-' {
+			n++
+		}
+	}
+	return n
+}
+
+// Render lays Figure 7 out as a table: one row per link-type count, one
+// column per distance.
+func (r *Figure7Result) Render() *Table {
+	t := &Table{
+		Title:  "Figure 7: Privacy risk (percent) vs max distance, averaged by number of utilized link types",
+		Header: []string{"Link types \\ Max Distance"},
+	}
+	for _, n := range r.Distances {
+		t.Header = append(t.Header, fmt.Sprintf("%d", n))
+	}
+	for k, series := range r.Series {
+		row := []string{fmt.Sprintf("%d", k+1)}
+		for _, v := range series {
+			row = append(row, pct(v))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/hinpriv/dehin/internal/anonymize"
+	"github.com/hinpriv/dehin/internal/dehin"
+	"github.com/hinpriv/dehin/internal/hin"
+	"github.com/hinpriv/dehin/internal/randx"
+	"github.com/hinpriv/dehin/internal/tqq"
+)
+
+// Workbench builds the shared experimental fixture once: the auxiliary
+// network with SamplesPerDensity planted communities per density, the
+// released (KDDA-anonymized) target graphs, and a shared candidate index.
+type Workbench struct {
+	Params  Params
+	Dataset *tqq.Dataset
+	Index   *dehin.Index
+
+	// byDensity[i] lists the community indices of Params.Densities[i].
+	byDensity [][]int
+}
+
+// ReleasedTarget is one anonymized target graph ready to attack: the graph
+// the adversary sees plus the ground truth into the auxiliary dataset.
+type ReleasedTarget struct {
+	Graph *hin.Graph
+	Truth []hin.EntityID
+}
+
+// NewWorkbench generates the fixture for the given parameters.
+func NewWorkbench(p Params) (*Workbench, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	cfg := tqq.DefaultConfig(p.AuxUsers, p.Seed)
+	byDensity := make([][]int, len(p.Densities))
+	for i, d := range p.Densities {
+		for s := 0; s < p.SamplesPerDensity; s++ {
+			byDensity[i] = append(byDensity[i], len(cfg.Communities))
+			cfg.Communities = append(cfg.Communities, tqq.CommunitySpec{
+				Size:    p.TargetSize,
+				Density: d,
+			})
+		}
+	}
+	ds, err := tqq.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := dehin.NewIndex(ds.Graph, dehin.TQQProfile())
+	if err != nil {
+		return nil, err
+	}
+	return &Workbench{Params: p, Dataset: ds, Index: idx, byDensity: byDensity}, nil
+}
+
+// GenConfig returns the tqq generator configuration the workbench used
+// (needed by growth experiments).
+func (w *Workbench) GenConfig() tqq.Config {
+	cfg := tqq.DefaultConfig(w.Params.AuxUsers, w.Params.Seed)
+	return cfg
+}
+
+// Targets returns the released target graphs for the di-th density:
+// community samples, KDDA-anonymized (ids shuffled and relabeled), with
+// composed ground truth into the dataset.
+func (w *Workbench) Targets(di int) ([]*ReleasedTarget, error) {
+	if di < 0 || di >= len(w.byDensity) {
+		return nil, fmt.Errorf("experiments: density index %d out of range", di)
+	}
+	var out []*ReleasedTarget
+	for _, ci := range w.byDensity[di] {
+		rt, err := w.releaseCommunity(ci)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rt)
+	}
+	return out, nil
+}
+
+// releaseCommunity samples community ci and anonymizes it KDDA-style.
+func (w *Workbench) releaseCommunity(ci int) (*ReleasedTarget, error) {
+	rng := randx.New(w.Params.Seed).Split(uint64(1000 + ci))
+	tgt, err := tqq.CommunityTarget(w.Dataset, ci, rng)
+	if err != nil {
+		return nil, err
+	}
+	anon, err := anonymize.RandomizeIDs(tgt.Graph, w.Params.Seed+uint64(77+ci))
+	if err != nil {
+		return nil, err
+	}
+	truth := make([]hin.EntityID, len(anon.ToOrig))
+	for i, t0 := range anon.ToOrig {
+		truth[i] = tgt.Orig[t0]
+	}
+	return &ReleasedTarget{Graph: anon.Graph, Truth: truth}, nil
+}
+
+// Attack builds a DeHIN attack against the workbench's auxiliary network,
+// sharing the prebuilt index.
+func (w *Workbench) Attack(cfg dehin.Config) (*dehin.Attack, error) {
+	cfg.Profile = dehin.TQQProfile()
+	cfg.SharedIndex = w.Index
+	if cfg.Parallelism == 0 {
+		cfg.Parallelism = w.Params.Parallelism
+	}
+	return dehin.NewAttack(w.Dataset.Graph, cfg)
+}
+
+// AttackOn is Attack against an alternative auxiliary graph (e.g. a grown
+// crawl), building a fresh index.
+func AttackOn(aux *hin.Graph, cfg dehin.Config) (*dehin.Attack, error) {
+	cfg.Profile = dehin.TQQProfile()
+	cfg.UseIndex = true
+	return dehin.NewAttack(aux, cfg)
+}
+
+// averageRun attacks every released target with the given attack and
+// averages precision and reduction rate.
+func averageRun(a *dehin.Attack, targets []*ReleasedTarget, transform func(*hin.Graph) (*hin.Graph, error)) (precision, reduction float64, err error) {
+	if len(targets) == 0 {
+		return 0, 0, fmt.Errorf("experiments: no targets")
+	}
+	for _, rt := range targets {
+		g := rt.Graph
+		if transform != nil {
+			g, err = transform(g)
+			if err != nil {
+				return 0, 0, err
+			}
+		}
+		res, err := a.Run(g, rt.Truth)
+		if err != nil {
+			return 0, 0, err
+		}
+		precision += res.Precision
+		reduction += res.ReductionRate
+	}
+	n := float64(len(targets))
+	return precision / n, reduction / n, nil
+}

@@ -1,0 +1,243 @@
+package hin
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates entities and edges and freezes them into an immutable
+// Graph. A Builder is single-use: after Build it must not be reused.
+//
+// Entity-shape mistakes (unknown type, wrong attribute count) are
+// programmer errors and panic; edge mistakes (bad endpoints, violated
+// self-loop rule) are data-dependent and returned as errors.
+type Builder struct {
+	schema *Schema
+	etype  []EntityTypeID
+	labels []string
+
+	attrOff  []int64
+	attrData []int64
+
+	sets map[string]map[EntityID][]int32
+
+	eFrom [][]EntityID // per link type
+	eTo   [][]EntityID
+	eW    [][]int32
+
+	built bool
+}
+
+// NewBuilder returns a Builder for the given schema.
+func NewBuilder(schema *Schema) *Builder {
+	return &Builder{
+		schema:  schema,
+		attrOff: []int64{0},
+		sets:    make(map[string]map[EntityID][]int32),
+		eFrom:   make([][]EntityID, schema.NumLinkTypes()),
+		eTo:     make([][]EntityID, schema.NumLinkTypes()),
+		eW:      make([][]int32, schema.NumLinkTypes()),
+	}
+}
+
+// NumEntities returns how many entities have been added so far.
+func (b *Builder) NumEntities() int { return len(b.etype) }
+
+// AddEntity appends an entity of type t with the given label and scalar
+// attribute values (positional, matching the type declaration) and returns
+// its id. It panics if t is out of range or the attribute count is wrong.
+func (b *Builder) AddEntity(t EntityTypeID, label string, attrs ...int64) EntityID {
+	if int(t) >= b.schema.NumEntityTypes() {
+		panic(fmt.Sprintf("hin: AddEntity with unknown entity type %d", t))
+	}
+	decl := b.schema.EntityType(t)
+	if len(attrs) != len(decl.Attrs) {
+		panic(fmt.Sprintf("hin: entity type %q takes %d attrs, got %d",
+			decl.Name, len(decl.Attrs), len(attrs)))
+	}
+	id := EntityID(len(b.etype))
+	b.etype = append(b.etype, t)
+	b.labels = append(b.labels, label)
+	b.attrData = append(b.attrData, attrs...)
+	b.attrOff = append(b.attrOff, int64(len(b.attrData)))
+	return id
+}
+
+// SetSet assigns the named multi-valued attribute of entity v. The entity's
+// type must declare the set attribute. Values are copied and sorted; a nil
+// or empty slice clears the set.
+func (b *Builder) SetSet(name string, v EntityID, vals []int32) {
+	if v < 0 || int(v) >= len(b.etype) {
+		panic(fmt.Sprintf("hin: SetSet on unknown entity %d", v))
+	}
+	if b.schema.SetAttrIndex(b.etype[v], name) < 0 {
+		panic(fmt.Sprintf("hin: entity type %q has no set attribute %q",
+			b.schema.EntityType(b.etype[v]).Name, name))
+	}
+	col := b.sets[name]
+	if col == nil {
+		col = make(map[EntityID][]int32)
+		b.sets[name] = col
+	}
+	if len(vals) == 0 {
+		delete(col, v)
+		return
+	}
+	cp := append([]int32(nil), vals...)
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	col[v] = cp
+}
+
+// AddEdge appends a directed edge of link type lt from -> to with strength
+// w. Duplicate (lt, from, to) edges are merged at Build time by summing
+// strengths. Unweighted link types require w == 1.
+func (b *Builder) AddEdge(lt LinkTypeID, from, to EntityID, w int32) error {
+	if int(lt) >= b.schema.NumLinkTypes() {
+		return fmt.Errorf("hin: unknown link type %d", lt)
+	}
+	if from < 0 || int(from) >= len(b.etype) {
+		return fmt.Errorf("hin: edge source %d out of range", from)
+	}
+	if to < 0 || int(to) >= len(b.etype) {
+		return fmt.Errorf("hin: edge destination %d out of range", to)
+	}
+	decl := b.schema.LinkType(lt)
+	if ft := b.schema.EntityType(b.etype[from]).Name; ft != decl.From {
+		return fmt.Errorf("hin: link %q requires source type %q, entity %d has %q",
+			decl.Name, decl.From, from, ft)
+	}
+	if tt := b.schema.EntityType(b.etype[to]).Name; tt != decl.To {
+		return fmt.Errorf("hin: link %q requires destination type %q, entity %d has %q",
+			decl.Name, decl.To, to, tt)
+	}
+	if from == to && !decl.AllowSelf {
+		return fmt.Errorf("hin: link %q forbids self-loops (entity %d)", decl.Name, from)
+	}
+	if w <= 0 {
+		return fmt.Errorf("hin: edge strength must be positive, got %d", w)
+	}
+	if !decl.Weighted && w != 1 {
+		return fmt.Errorf("hin: unweighted link %q requires strength 1, got %d", decl.Name, w)
+	}
+	b.eFrom[lt] = append(b.eFrom[lt], from)
+	b.eTo[lt] = append(b.eTo[lt], to)
+	b.eW[lt] = append(b.eW[lt], w)
+	return nil
+}
+
+// Build freezes the accumulated entities and edges into a Graph. Duplicate
+// edges of the same link type are merged by summing strengths (unweighted
+// duplicates collapse to a single strength-1 edge).
+func (b *Builder) Build() (*Graph, error) {
+	if b.built {
+		return nil, fmt.Errorf("hin: Builder already built")
+	}
+	b.built = true
+	n := len(b.etype)
+	g := &Graph{
+		schema:   b.schema,
+		n:        n,
+		etype:    b.etype,
+		label:    b.labels,
+		attrOff:  b.attrOff,
+		attrData: b.attrData,
+		sets:     make(map[string]*setCol, len(b.sets)),
+		fwd:      make([]csr, b.schema.NumLinkTypes()),
+		rev:      make([]csr, b.schema.NumLinkTypes()),
+	}
+	for name, vals := range b.sets {
+		col := &setCol{off: make([]int64, n+1)}
+		var total int64
+		for v := 0; v < n; v++ {
+			total += int64(len(vals[EntityID(v)]))
+			col.off[v+1] = total
+		}
+		col.data = make([]int32, 0, total)
+		for v := 0; v < n; v++ {
+			col.data = append(col.data, vals[EntityID(v)]...)
+		}
+		g.sets[name] = col
+	}
+	for lt := range b.eFrom {
+		merged := !b.schema.LinkType(LinkTypeID(lt)).Weighted
+		fwd, err := buildCSR(n, b.eFrom[lt], b.eTo[lt], b.eW[lt], merged)
+		if err != nil {
+			return nil, err
+		}
+		rev, err := buildCSR(n, b.eTo[lt], b.eFrom[lt], b.eW[lt], merged)
+		if err != nil {
+			return nil, err
+		}
+		g.fwd[lt] = fwd
+		g.rev[lt] = rev
+		b.eFrom[lt], b.eTo[lt], b.eW[lt] = nil, nil, nil
+	}
+	return g, nil
+}
+
+// buildCSR assembles a CSR adjacency from parallel edge slices, sorting
+// each row and merging duplicate destinations by summing weights. If
+// collapse is true, merged weights are clamped to 1 (unweighted links).
+func buildCSR(n int, from, to []EntityID, w []int32, collapse bool) (csr, error) {
+	deg := make([]int64, n+1)
+	for _, f := range from {
+		deg[f+1]++
+	}
+	for i := 1; i <= n; i++ {
+		deg[i] += deg[i-1]
+	}
+	off := deg // deg now holds offsets; reuse
+	tos := make([]EntityID, len(to))
+	ws := make([]int32, len(w))
+	cursor := make([]int64, n)
+	for i, f := range from {
+		p := off[f] + cursor[f]
+		cursor[f]++
+		tos[p] = to[i]
+		ws[p] = w[i]
+	}
+	// Sort each row by destination and merge duplicates in place, then
+	// compact.
+	outTo := tos[:0]
+	outW := ws[:0]
+	newOff := make([]int64, n+1)
+	for v := 0; v < n; v++ {
+		lo, hi := off[v], off[v+1]
+		row := tos[lo:hi]
+		roww := ws[lo:hi]
+		sort.Sort(&edgeSorter{row, roww})
+		for i := 0; i < len(row); {
+			j := i + 1
+			sum := int64(roww[i])
+			for j < len(row) && row[j] == row[i] {
+				sum += int64(roww[j])
+				j++
+			}
+			if collapse {
+				sum = 1
+			}
+			if sum > int64(maxInt32) {
+				return csr{}, fmt.Errorf("hin: merged edge strength overflows int32 at entity %d", v)
+			}
+			outTo = append(outTo, row[i])
+			outW = append(outW, int32(sum))
+			i = j
+		}
+		newOff[v+1] = int64(len(outTo))
+	}
+	return csr{off: newOff, to: outTo, w: outW}, nil
+}
+
+const maxInt32 = 1<<31 - 1
+
+type edgeSorter struct {
+	to []EntityID
+	w  []int32
+}
+
+func (s *edgeSorter) Len() int           { return len(s.to) }
+func (s *edgeSorter) Less(i, j int) bool { return s.to[i] < s.to[j] }
+func (s *edgeSorter) Swap(i, j int) {
+	s.to[i], s.to[j] = s.to[j], s.to[i]
+	s.w[i], s.w[j] = s.w[j], s.w[i]
+}

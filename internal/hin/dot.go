@@ -1,0 +1,80 @@
+package hin
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteSchemaDOT renders the network schema as a Graphviz digraph: one
+// node per entity type (labelled with its attributes) and one edge per
+// link type - the paper's Figure 2/3 style meta-structure diagrams.
+func WriteSchemaDOT(w io.Writer, s *Schema) error {
+	var b strings.Builder
+	b.WriteString("digraph schema {\n  rankdir=LR;\n  node [shape=record];\n")
+	for i := 0; i < s.NumEntityTypes(); i++ {
+		et := s.EntityType(EntityTypeID(i))
+		label := et.Name
+		if len(et.Attrs) > 0 {
+			label += "|" + strings.Join(et.Attrs, `\n`)
+		}
+		if len(et.SetAttrs) > 0 {
+			label += "|{" + strings.Join(et.SetAttrs, `\n`) + "}"
+		}
+		fmt.Fprintf(&b, "  %q [label=\"{%s}\"];\n", et.Name, label)
+	}
+	for i := 0; i < s.NumLinkTypes(); i++ {
+		lt := s.LinkType(LinkTypeID(i))
+		style := ""
+		if lt.Weighted {
+			style = ", style=bold"
+		}
+		fmt.Fprintf(&b, "  %q -> %q [label=%q%s];\n", lt.From, lt.To, lt.Name, style)
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteGraphDOT renders a (small) instance graph as a Graphviz digraph,
+// one color-coded edge style per link type and weights as labels. Graphs
+// above maxEntities are rejected - DOT rendering of large networks is a
+// mistake, not a feature.
+func WriteGraphDOT(w io.Writer, g *Graph, maxEntities int) error {
+	if maxEntities <= 0 {
+		maxEntities = 200
+	}
+	if g.NumEntities() > maxEntities {
+		return fmt.Errorf("hin: refusing to render %d entities as DOT (max %d)",
+			g.NumEntities(), maxEntities)
+	}
+	colors := []string{"black", "blue", "red", "darkgreen", "orange", "purple"}
+	var b strings.Builder
+	b.WriteString("digraph g {\n")
+	for v := 0; v < g.NumEntities(); v++ {
+		id := EntityID(v)
+		label := g.Label(id)
+		if label == "" {
+			label = fmt.Sprintf("#%d", v)
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q];\n", v, label)
+	}
+	for lt := 0; lt < g.Schema().NumLinkTypes(); lt++ {
+		ltid := LinkTypeID(lt)
+		color := colors[lt%len(colors)]
+		weighted := g.Schema().LinkType(ltid).Weighted
+		for v := 0; v < g.NumEntities(); v++ {
+			tos, ws := g.OutEdges(ltid, EntityID(v))
+			for j, to := range tos {
+				if weighted {
+					fmt.Fprintf(&b, "  n%d -> n%d [color=%s, label=\"%d\"];\n", v, to, color, ws[j])
+				} else {
+					fmt.Fprintf(&b, "  n%d -> n%d [color=%s];\n", v, to, color)
+				}
+			}
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

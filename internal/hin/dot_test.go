@@ -1,0 +1,70 @@
+package hin
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteSchemaDOT(t *testing.T) {
+	s := MustSchema(
+		[]EntityType{
+			{Name: "User", Attrs: []string{"yob"}, SetAttrs: []string{"tags"}},
+			{Name: "Tweet"},
+		},
+		[]LinkType{
+			{Name: "post", From: "User", To: "Tweet"},
+			{Name: "mention", From: "Tweet", To: "User", Weighted: true},
+		},
+	)
+	var b strings.Builder
+	if err := WriteSchemaDOT(&b, s); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"digraph schema",
+		`"User"`,
+		`"User" -> "Tweet" [label="post"]`,
+		`"Tweet" -> "User" [label="mention", style=bold]`,
+		"yob",
+		"tags",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("schema DOT missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteGraphDOT(t *testing.T) {
+	g := buildToy(t)
+	var b strings.Builder
+	if err := WriteGraphDOT(&b, g, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"digraph g",
+		"n0 -> n1",
+		`label="5"`, // mention strength
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("graph DOT missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteGraphDOTSizeGuard(t *testing.T) {
+	s := MustSchema([]EntityType{{Name: "N"}}, []LinkType{})
+	b := NewBuilder(s)
+	for i := 0; i < 10; i++ {
+		b.AddEntity(0, "")
+	}
+	g, _ := b.Build()
+	var sb strings.Builder
+	if err := WriteGraphDOT(&sb, g, 5); err == nil {
+		t.Fatal("oversized DOT render accepted")
+	}
+	if err := WriteGraphDOT(&sb, g, 10); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,70 @@
+package hin_test
+
+import (
+	"fmt"
+
+	"github.com/hinpriv/dehin/internal/hin"
+)
+
+// Example builds a miniature heterogeneous information network - a user
+// posting a tweet that mentions another user - and projects it onto the
+// user type along a short-circuited mention meta path.
+func Example() {
+	schema := hin.MustSchema(
+		[]hin.EntityType{
+			{Name: "User", Attrs: []string{"yob"}},
+			{Name: "Tweet"},
+		},
+		[]hin.LinkType{
+			{Name: "post", From: "User", To: "Tweet"},
+			{Name: "mention", From: "Tweet", To: "User"},
+		},
+	)
+	b := hin.NewBuilder(schema)
+	alice := b.AddEntity(0, "alice", 1980)
+	bob := b.AddEntity(0, "bob", 1985)
+	tweet := b.AddEntity(1, "t1")
+	if err := b.AddEdge(schema.MustLinkTypeID("post"), alice, tweet, 1); err != nil {
+		panic(err)
+	}
+	if err := b.AddEdge(schema.MustLinkTypeID("mention"), tweet, bob, 1); err != nil {
+		panic(err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+
+	projected, _, err := hin.ProjectGraph(g, "User", []hin.MetaPath{
+		{Name: "mentions", Steps: []hin.Step{{Link: "post"}, {Link: "mention"}}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	lt := projected.Schema().MustLinkTypeID("mentions")
+	w, ok := projected.FindEdge(lt, 0, 1)
+	fmt.Printf("%s mentions %s: %v (strength %d)\n",
+		projected.Label(0), projected.Label(1), ok, w)
+	// Output:
+	// alice mentions bob: true (strength 1)
+}
+
+// ExampleDensity computes the paper's Equation 4 density for a two-user
+// network with one follow edge.
+func ExampleDensity() {
+	schema := hin.MustSchema(
+		[]hin.EntityType{{Name: "User"}},
+		[]hin.LinkType{{Name: "follow", From: "User", To: "User"}},
+	)
+	b := hin.NewBuilder(schema)
+	u := b.AddEntity(0, "u")
+	v := b.AddEntity(0, "v")
+	if err := b.AddEdge(0, u, v, 1); err != nil {
+		panic(err)
+	}
+	g, _ := b.Build()
+	d, _ := hin.Density(g)
+	fmt.Printf("density = %.1f\n", d)
+	// Output:
+	// density = 0.5
+}

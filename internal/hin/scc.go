@@ -1,0 +1,140 @@
+package hin
+
+// StronglyConnectedComponents computes the SCCs of the directed graph
+// formed by the union of all link types, using an iterative Tarjan
+// algorithm (the graphs here can be deep enough to overflow a recursive
+// stack). Components are returned in reverse topological order of the
+// condensation - successors before predecessors - which is Tarjan's
+// natural emission order.
+func StronglyConnectedComponents(g *Graph) [][]EntityID {
+	n := g.NumEntities()
+	const unvisited = -1
+	index := make([]int32, n)
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var (
+		counter int32
+		stack   []EntityID // Tarjan stack
+		comps   [][]EntityID
+	)
+
+	// Explicit DFS frames: v plus iteration state over link types and
+	// row positions.
+	type frame struct {
+		v       EntityID
+		lt      int
+		pos     int
+		childOf int32 // low updates flow to the parent via this marker
+	}
+	nLinks := g.Schema().NumLinkTypes()
+
+	for start := 0; start < n; start++ {
+		if index[start] != unvisited {
+			continue
+		}
+		frames := []frame{{v: EntityID(start)}}
+		index[start] = counter
+		low[start] = counter
+		counter++
+		stack = append(stack, EntityID(start))
+		onStack[start] = true
+
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			advanced := false
+			for f.lt < nLinks {
+				tos, _ := g.OutEdges(LinkTypeID(f.lt), f.v)
+				for f.pos < len(tos) {
+					w := tos[f.pos]
+					f.pos++
+					if index[w] == unvisited {
+						index[w] = counter
+						low[w] = counter
+						counter++
+						stack = append(stack, w)
+						onStack[w] = true
+						frames = append(frames, frame{v: w})
+						advanced = true
+						break
+					}
+					if onStack[w] && index[w] < low[f.v] {
+						low[f.v] = index[w]
+					}
+				}
+				if advanced {
+					break
+				}
+				f.lt++
+				f.pos = 0
+			}
+			if advanced {
+				continue
+			}
+			// f.v is finished: maybe emit a component, then propagate
+			// low to the parent.
+			if low[f.v] == index[f.v] {
+				var comp []EntityID
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == f.v {
+						break
+					}
+				}
+				comps = append(comps, comp)
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := &frames[len(frames)-1]
+				if low[f.v] < low[p.v] {
+					low[p.v] = low[f.v]
+				}
+			}
+		}
+	}
+	return comps
+}
+
+// SourceComponents returns the SCCs with no in-edges from outside the
+// component, of size between minSize and maxSize inclusive. A gang of
+// planted sybil accounts is necessarily such a source component - organic
+// accounts follow nobody into it - which is what makes the active attack
+// of Backstrom et al. detectable (Section 2.2: "such random subgraphs can
+// be easily detected").
+func SourceComponents(g *Graph, minSize, maxSize int) [][]EntityID {
+	comps := StronglyConnectedComponents(g)
+	whichComp := make([]int32, g.NumEntities())
+	for ci, comp := range comps {
+		for _, v := range comp {
+			whichComp[v] = int32(ci)
+		}
+	}
+	var out [][]EntityID
+	for ci, comp := range comps {
+		if len(comp) < minSize || len(comp) > maxSize {
+			continue
+		}
+		isSource := true
+	scan:
+		for _, v := range comp {
+			for lt := 0; lt < g.Schema().NumLinkTypes(); lt++ {
+				froms, _ := g.InEdges(LinkTypeID(lt), v)
+				for _, f := range froms {
+					if whichComp[f] != int32(ci) {
+						isSource = false
+						break scan
+					}
+				}
+			}
+		}
+		if isSource {
+			out = append(out, comp)
+		}
+	}
+	return out
+}

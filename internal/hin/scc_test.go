@@ -1,0 +1,213 @@
+package hin
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/hinpriv/dehin/internal/randx"
+)
+
+// sccSchema: one entity type, two link types to exercise the union
+// semantics.
+func sccSchema() *Schema {
+	return MustSchema(
+		[]EntityType{{Name: "N"}},
+		[]LinkType{
+			{Name: "a", From: "N", To: "N"},
+			{Name: "b", From: "N", To: "N"},
+		},
+	)
+}
+
+func sccGraph(t testing.TB, n int, edges [][3]int) *Graph {
+	t.Helper()
+	b := NewBuilder(sccSchema())
+	for i := 0; i < n; i++ {
+		b.AddEntity(0, "")
+	}
+	for _, e := range edges {
+		if err := b.AddEdge(LinkTypeID(e[2]), EntityID(e[0]), EntityID(e[1]), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func compSets(comps [][]EntityID) []string {
+	var out []string
+	for _, c := range comps {
+		ids := make([]int, len(c))
+		for i, v := range c {
+			ids[i] = int(v)
+		}
+		sort.Ints(ids)
+		s := ""
+		for _, v := range ids {
+			s += string(rune('a' + v))
+		}
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestSCCSimpleCycle(t *testing.T) {
+	// 0 -> 1 -> 2 -> 0 plus a tail 2 -> 3.
+	g := sccGraph(t, 4, [][3]int{{0, 1, 0}, {1, 2, 0}, {2, 0, 0}, {2, 3, 1}})
+	comps := StronglyConnectedComponents(g)
+	got := compSets(comps)
+	want := []string{"abc", "d"}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("components = %v, want %v", got, want)
+	}
+}
+
+func TestSCCCrossLinkTypeCycle(t *testing.T) {
+	// Cycle only through the union: 0 -a-> 1, 1 -b-> 0.
+	g := sccGraph(t, 2, [][3]int{{0, 1, 0}, {1, 0, 1}})
+	comps := StronglyConnectedComponents(g)
+	if len(comps) != 1 || len(comps[0]) != 2 {
+		t.Fatalf("components = %v", compSets(comps))
+	}
+}
+
+func TestSCCSingletons(t *testing.T) {
+	g := sccGraph(t, 3, [][3]int{{0, 1, 0}, {1, 2, 0}})
+	comps := StronglyConnectedComponents(g)
+	if len(comps) != 3 {
+		t.Fatalf("want 3 singleton components, got %v", compSets(comps))
+	}
+}
+
+func TestSCCReverseTopologicalOrder(t *testing.T) {
+	// 0 -> 1 (two singleton components): successor (1) must be emitted
+	// first.
+	g := sccGraph(t, 2, [][3]int{{0, 1, 0}})
+	comps := StronglyConnectedComponents(g)
+	if comps[0][0] != 1 || comps[1][0] != 0 {
+		t.Fatalf("emission order wrong: %v", comps)
+	}
+}
+
+func TestSourceComponents(t *testing.T) {
+	// Gang {0,1} (mutual edges, edge out to 2), core {2,3} cycle with an
+	// external in-edge from the gang -> not a source. Singleton 4 with no
+	// edges: source but below minSize 2.
+	g := sccGraph(t, 5, [][3]int{
+		{0, 1, 0}, {1, 0, 0}, {0, 2, 0},
+		{2, 3, 0}, {3, 2, 0},
+	})
+	srcs := SourceComponents(g, 2, 3)
+	if len(srcs) != 1 {
+		t.Fatalf("sources = %v", compSets(srcs))
+	}
+	got := compSets(srcs)
+	if got[0] != "ab" {
+		t.Fatalf("source = %v, want {0,1}", got)
+	}
+}
+
+func TestSourceComponentsSizeBounds(t *testing.T) {
+	g := sccGraph(t, 4, [][3]int{{0, 1, 0}, {1, 2, 0}, {2, 0, 0}})
+	if srcs := SourceComponents(g, 2, 2); len(srcs) != 0 {
+		t.Fatalf("3-cycle should exceed maxSize 2: %v", compSets(srcs))
+	}
+	if srcs := SourceComponents(g, 2, 3); len(srcs) != 1 {
+		t.Fatalf("3-cycle should be found with maxSize 3")
+	}
+}
+
+// Property: components partition the vertex set, and within a component
+// every vertex reaches every other (checked by BFS over the union graph).
+func TestSCCPartitionAndMutualReachability(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := randx.New(seed)
+		n := rng.IntRange(2, 30)
+		b := NewBuilder(sccSchema())
+		for i := 0; i < n; i++ {
+			b.AddEntity(0, "")
+		}
+		for e := 0; e < 3*n; e++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				_ = b.AddEdge(LinkTypeID(rng.Intn(2)), EntityID(u), EntityID(v), 1)
+			}
+		}
+		g, _ := b.Build()
+		comps := StronglyConnectedComponents(g)
+		seen := make(map[EntityID]bool)
+		for _, c := range comps {
+			for _, v := range c {
+				if seen[v] {
+					return false // vertex in two components
+				}
+				seen[v] = true
+			}
+		}
+		if len(seen) != n {
+			return false // not a partition
+		}
+		reach := func(from, to EntityID) bool {
+			if from == to {
+				return true
+			}
+			visited := map[EntityID]bool{from: true}
+			queue := []EntityID{from}
+			for len(queue) > 0 {
+				v := queue[0]
+				queue = queue[1:]
+				for lt := 0; lt < 2; lt++ {
+					tos, _ := g.OutEdges(LinkTypeID(lt), v)
+					for _, w := range tos {
+						if w == to {
+							return true
+						}
+						if !visited[w] {
+							visited[w] = true
+							queue = append(queue, w)
+						}
+					}
+				}
+			}
+			return false
+		}
+		for _, c := range comps {
+			if len(c) < 2 {
+				continue
+			}
+			// Spot-check mutual reachability of the first pair.
+			if !reach(c[0], c[1]) || !reach(c[1], c[0]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSCCDeepChainNoOverflow(t *testing.T) {
+	// A 200k-long path would overflow a recursive Tarjan; the iterative
+	// version must handle it.
+	const n = 200000
+	b := NewBuilder(sccSchema())
+	for i := 0; i < n; i++ {
+		b.AddEntity(0, "")
+	}
+	for i := 0; i+1 < n; i++ {
+		if err := b.AddEdge(0, EntityID(i), EntityID(i+1), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, _ := b.Build()
+	comps := StronglyConnectedComponents(g)
+	if len(comps) != n {
+		t.Fatalf("path graph: %d components, want %d", len(comps), n)
+	}
+}

@@ -1,0 +1,46 @@
+package risk
+
+import (
+	"fmt"
+	"math"
+)
+
+// Bounds holds Theorem 2's asymptotic bounds on the expected network
+// cardinality in natural-log space (the raw values overflow float64 almost
+// immediately - they grow faster than double exponentially in n).
+type Bounds struct {
+	// LowerLog is ln of the Omega bound (C(E*) C(L*)^n)^(2^n).
+	LowerLog float64
+	// UpperLog is ln of the O bound (C(E*) C(L*)^n)^(N^n).
+	UpperLog float64
+}
+
+// CardinalityBounds evaluates Theorem 2 for entity cardinality entC, link
+// cardinality linkC, max utilized-neighbor distance n, and network size
+// nodes. It returns an error for non-positive cardinalities or sizes.
+func CardinalityBounds(entC, linkC float64, n, nodes int) (Bounds, error) {
+	if entC < 1 || linkC < 1 {
+		return Bounds{}, fmt.Errorf("risk: cardinalities must be >= 1, got %g and %g", entC, linkC)
+	}
+	if n < 0 || nodes < 1 {
+		return Bounds{}, fmt.Errorf("risk: bad n=%d or nodes=%d", n, nodes)
+	}
+	base := math.Log(entC) + float64(n)*math.Log(linkC)
+	return Bounds{
+		LowerLog: math.Exp2(float64(n)) * base,
+		UpperLog: math.Pow(float64(nodes), float64(n)) * base,
+	}, nil
+}
+
+// RiskCeiling translates a cardinality bound into a risk bound via
+// Theorem 1 (risk = C/N), capping at 1: it returns min(1, e^boundLog / N).
+func RiskCeiling(boundLog float64, nodes int) float64 {
+	if nodes < 1 {
+		return 0
+	}
+	r := boundLog - math.Log(float64(nodes))
+	if r >= 0 {
+		return 1
+	}
+	return math.Exp(r)
+}

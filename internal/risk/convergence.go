@@ -1,0 +1,91 @@
+package risk
+
+import (
+	"fmt"
+
+	"github.com/hinpriv/dehin/internal/hin"
+)
+
+// ConvergenceProfile quantifies the paper's Section 4.4 bottleneck
+// analysis (Figure 5): risk cannot grow past the point where deeper
+// neighborhoods stop adding information. For each distance d in
+// [0, maxDistance] it reports
+//
+//   - Risk[d]      - the dataset risk C/N at distance d, and
+//   - Converged[d] - the fraction of entities whose equivalence class is
+//     already final at d, i.e. identical to its class at maxDistance.
+//
+// Leaf entities (no out-edges via the utilized link types) converge at
+// distance 0; entities sharing all deeper neighbors (the paper's v1'/v2'
+// scenario) converge as soon as the shared structure is absorbed.
+type Convergence struct {
+	Risk      []float64
+	Converged []float64
+}
+
+// ConvergenceProfile computes the profile. cfg.MaxDistance is the deepest
+// distance analyzed.
+func ConvergenceProfile(g *hin.Graph, cfg SignatureConfig) (*Convergence, error) {
+	if cfg.MaxDistance < 0 {
+		return nil, fmt.Errorf("risk: negative MaxDistance")
+	}
+	n := g.NumEntities()
+	if n == 0 {
+		return nil, fmt.Errorf("risk: empty graph")
+	}
+	// Signatures per distance.
+	perDist := make([][]uint64, cfg.MaxDistance+1)
+	for d := 0; d <= cfg.MaxDistance; d++ {
+		c := cfg
+		c.MaxDistance = d
+		sigs, err := Signatures(g, c)
+		if err != nil {
+			return nil, err
+		}
+		perDist[d] = sigs
+	}
+	// Partition ids per distance: two entities share a class id iff they
+	// share a signature.
+	classes := make([][]int32, cfg.MaxDistance+1)
+	for d, sigs := range perDist {
+		ids := make(map[uint64]int32)
+		cl := make([]int32, n)
+		for v, s := range sigs {
+			id, ok := ids[s]
+			if !ok {
+				id = int32(len(ids))
+				ids[s] = id
+			}
+			cl[v] = id
+		}
+		classes[d] = cl
+	}
+	final := classes[cfg.MaxDistance]
+	out := &Convergence{
+		Risk:      make([]float64, cfg.MaxDistance+1),
+		Converged: make([]float64, cfg.MaxDistance+1),
+	}
+	// finalSize[class] = size of the final class of each entity.
+	finalCount := make(map[int32]int)
+	for _, c := range final {
+		finalCount[c]++
+	}
+	for d := 0; d <= cfg.MaxDistance; d++ {
+		out.Risk[d] = DatasetRisk(perDist[d], nil)
+		// An entity has converged at d if its class at d has the same
+		// size as its final class (classes only split as d grows, so
+		// equal size means identical membership).
+		count := make(map[int32]int)
+		for _, c := range classes[d] {
+			count[c]++
+		}
+		converged := 0
+		for v := 0; v < n; v++ {
+			if count[classes[d][v]] == finalCount[final[v]] {
+				converged++
+			}
+		}
+		out.Converged[d] = float64(converged) / float64(n)
+	}
+	return out, nil
+}

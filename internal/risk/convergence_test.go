@@ -1,0 +1,88 @@
+package risk
+
+import (
+	"testing"
+
+	"github.com/hinpriv/dehin/internal/hin"
+	"github.com/hinpriv/dehin/internal/tqq"
+)
+
+func TestConvergenceProfileLeafs(t *testing.T) {
+	// Two leaf users (no out-edges) with identical profiles never
+	// separate; two chained users separate at distance 1.
+	s := tqq.TargetSchema()
+	b := hin.NewBuilder(s)
+	for i := 0; i < 4; i++ {
+		b.AddEntity(0, "", 1980, 1, 10, 0)
+	}
+	mention := s.MustLinkTypeID(tqq.LinkMention)
+	if err := b.AddEdge(mention, 2, 0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(mention, 3, 0, 9); err != nil {
+		t.Fatal(err)
+	}
+	g, _ := b.Build()
+	cv, err := ConvergenceProfile(g, SignatureConfig{
+		MaxDistance: 2,
+		LinkTypes:   []hin.LinkTypeID{mention},
+		EntityAttrs: []int{tqq.AttrNumTags},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// d=0: all four share one class -> risk 1/4. Nobody is converged yet:
+	// even the two leafs' class will shrink when 2 and 3 leave it.
+	if cv.Risk[0] != 0.25 {
+		t.Fatalf("risk[0] = %g", cv.Risk[0])
+	}
+	if cv.Converged[0] != 0 {
+		t.Fatalf("converged[0] = %g, want 0", cv.Converged[0])
+	}
+	// d=1: 2 and 3 split by strength; everything final.
+	if cv.Converged[1] != 1 || cv.Converged[2] != 1 {
+		t.Fatalf("converged = %v", cv.Converged)
+	}
+	if cv.Risk[1] != cv.Risk[2] {
+		t.Fatalf("risk should be stable after convergence: %v", cv.Risk)
+	}
+}
+
+func TestConvergenceProfileMonotone(t *testing.T) {
+	d, err := tqq.Generate(tqq.DefaultConfig(400, 31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv, err := ConvergenceProfile(d.Graph, SignatureConfig{
+		MaxDistance: 3,
+		LinkTypes:   []hin.LinkTypeID{0, 1, 2, 3},
+		EntityAttrs: []int{tqq.AttrNumTags},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(cv.Risk); i++ {
+		if cv.Risk[i] < cv.Risk[i-1]-1e-9 {
+			t.Fatalf("risk fell: %v", cv.Risk)
+		}
+		if cv.Converged[i] < cv.Converged[i-1]-1e-9 {
+			t.Fatalf("convergence fell: %v", cv.Converged)
+		}
+	}
+	if cv.Converged[3] != 1 {
+		t.Fatalf("everything must be converged at the final distance: %v", cv.Converged)
+	}
+}
+
+func TestConvergenceProfileErrors(t *testing.T) {
+	d, err := tqq.Generate(tqq.DefaultConfig(20, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ConvergenceProfile(d.Graph, SignatureConfig{MaxDistance: -1}); err == nil {
+		t.Fatal("negative distance accepted")
+	}
+	if _, err := ConvergenceProfile(d.Graph, SignatureConfig{MaxDistance: 1, LinkTypes: []hin.LinkTypeID{99}}); err == nil {
+		t.Fatal("bad link type accepted")
+	}
+}

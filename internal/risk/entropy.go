@@ -1,0 +1,40 @@
+package risk
+
+import "math"
+
+// PartitionEntropy computes the Shannon entropy (in bits) of the
+// equivalence-class partition induced by vals, and the maximum possible
+// entropy log2(N). Entropy is an alternative lens on the paper's
+// cardinality-based risk (its "explore properties of the privacy risk
+// metric" future work): risk C/N counts classes, entropy also weighs how
+// evenly entities spread across them. Full entropy (== log2 N) means every
+// entity is unique - risk 1; zero entropy means one class - risk 1/N.
+func PartitionEntropy[T comparable](vals []T) (entropy, max float64) {
+	n := len(vals)
+	if n == 0 {
+		return 0, 0
+	}
+	counts := make(map[T]int, n)
+	for _, v := range vals {
+		counts[v]++
+	}
+	for _, c := range counts {
+		p := float64(c) / float64(n)
+		entropy -= p * math.Log2(p)
+	}
+	return entropy, math.Log2(float64(n))
+}
+
+// NormalizedEntropy returns PartitionEntropy scaled into [0, 1]
+// (1 when every entity is unique). A single-entity dataset is fully
+// identified, so it reports 1.
+func NormalizedEntropy[T comparable](vals []T) float64 {
+	e, max := PartitionEntropy(vals)
+	if max == 0 {
+		if len(vals) == 0 {
+			return 0
+		}
+		return 1
+	}
+	return e / max
+}

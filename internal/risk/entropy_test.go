@@ -1,0 +1,69 @@
+package risk
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPartitionEntropy(t *testing.T) {
+	// One class: zero entropy.
+	e, max := PartitionEntropy([]int{7, 7, 7, 7})
+	if e != 0 || max != 2 {
+		t.Fatalf("uniform class: e=%g max=%g", e, max)
+	}
+	// All unique: full entropy.
+	e, max = PartitionEntropy([]int{1, 2, 3, 4})
+	if math.Abs(e-2) > 1e-12 || max != 2 {
+		t.Fatalf("all unique: e=%g max=%g", e, max)
+	}
+	// Two equal classes of two: 1 bit.
+	e, _ = PartitionEntropy([]int{1, 1, 2, 2})
+	if math.Abs(e-1) > 1e-12 {
+		t.Fatalf("two classes: e=%g", e)
+	}
+	if e, max := PartitionEntropy([]int{}); e != 0 || max != 0 {
+		t.Fatal("empty dataset entropy must be 0")
+	}
+}
+
+func TestNormalizedEntropy(t *testing.T) {
+	if v := NormalizedEntropy([]int{1, 2, 3}); math.Abs(v-1) > 1e-12 {
+		t.Fatalf("all-unique normalized = %g", v)
+	}
+	if v := NormalizedEntropy([]int{5, 5, 5}); v != 0 {
+		t.Fatalf("single-class normalized = %g", v)
+	}
+	if v := NormalizedEntropy([]int{42}); v != 1 {
+		t.Fatalf("singleton normalized = %g", v)
+	}
+	if v := NormalizedEntropy([]int{}); v != 0 {
+		t.Fatalf("empty normalized = %g", v)
+	}
+}
+
+// Property: entropy is within [0, log2 N], and refining values (splitting
+// a class) never reduces it.
+func TestEntropyProperties(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]int, len(raw))
+		for i, r := range raw {
+			vals[i] = int(r % 8)
+		}
+		e, max := PartitionEntropy(vals)
+		if e < -1e-12 || e > max+1e-12 {
+			return false
+		}
+		// Refine: give element 0 a fresh unique value.
+		refined := append([]int(nil), vals...)
+		refined[0] = 1000
+		e2, _ := PartitionEntropy(refined)
+		return e2 >= e-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

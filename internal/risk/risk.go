@@ -1,0 +1,59 @@
+// Package risk implements the paper's privacy-risk analysis (Section 4):
+// per-tuple risk l(t)/k(t) (Definition 7), dataset risk as its average
+// (Definition 8, Theorem 1: R(T) = C(T)/N under unit loss), the
+// attribute-metapath-combined values whose distinct count is the network
+// cardinality C(T*_G), and the double-exponential growth bounds of
+// Theorem 2.
+package risk
+
+// Risks computes the per-tuple privacy risk of Definition 7 for an
+// arbitrary dataset given as equivalence values: k(t_i) is the number of
+// tuples sharing t_i's value and the risk is loss(i)/k(t_i). Pass nil loss
+// for the unit loss function the paper adopts for its main analysis.
+func Risks[T comparable](vals []T, loss func(i int) float64) []float64 {
+	counts := make(map[T]int, len(vals))
+	for _, v := range vals {
+		counts[v]++
+	}
+	out := make([]float64, len(vals))
+	for i, v := range vals {
+		l := 1.0
+		if loss != nil {
+			l = loss(i)
+		}
+		out[i] = l / float64(counts[v])
+	}
+	return out
+}
+
+// DatasetRisk computes the Definition 8 dataset risk: the mean per-tuple
+// risk. With nil (unit) loss this equals Theorem 1's C(T)/N. It returns 0
+// for an empty dataset.
+func DatasetRisk[T comparable](vals []T, loss func(i int) float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range Risks(vals, loss) {
+		sum += r
+	}
+	return sum / float64(len(vals))
+}
+
+// Cardinality returns C(T): the number of distinct values in vals.
+func Cardinality[T comparable](vals []T) int {
+	seen := make(map[T]struct{}, len(vals))
+	for _, v := range vals {
+		seen[v] = struct{}{}
+	}
+	return len(seen)
+}
+
+// ExpectedRisk is Lemma 1: the expected dataset risk when the loss function
+// is independent of 1/k with mean mu, given cardinality c and size n.
+func ExpectedRisk(mu float64, c, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return mu * float64(c) / float64(n)
+}

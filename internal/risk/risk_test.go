@@ -1,0 +1,192 @@
+package risk
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRisksUnitLoss(t *testing.T) {
+	vals := []string{"a", "a", "b", "c", "c", "c"}
+	got := Risks(vals, nil)
+	want := []float64{0.5, 0.5, 1, 1.0 / 3, 1.0 / 3, 1.0 / 3}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("risk[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRisksWithLoss(t *testing.T) {
+	vals := []int{1, 1}
+	loss := func(i int) float64 { return float64(i) * 0.5 } // 0, 0.5
+	got := Risks(vals, loss)
+	if got[0] != 0 || math.Abs(got[1]-0.25) > 1e-12 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// TestSection12Example reproduces the paper's T_1000 / T_2 example: both
+// datasets have 1000 tuples; T_1000 is one equivalence class, T_2 is 500
+// pairs. Inserting a fresh unique tuple t* makes both 1-anonymous, yet the
+// risk metric still separates them (2/1001 vs 501/1001).
+func TestSection12Example(t *testing.T) {
+	t1000 := make([]int, 1000) // all the same value
+	t2 := make([]int, 1000)    // 500 distinct pairs
+	for i := range t2 {
+		t2[i] = i / 2
+	}
+	if r := DatasetRisk(t1000, nil); math.Abs(r-0.001) > 1e-12 {
+		t.Fatalf("R(T_1000) = %g, want 0.001", r)
+	}
+	if r := DatasetRisk(t2, nil); math.Abs(r-0.5) > 1e-12 {
+		t.Fatalf("R(T_2) = %g, want 0.5", r)
+	}
+	star := 1 << 30 // unique new value
+	t1000s := append(append([]int(nil), t1000...), star)
+	t2s := append(append([]int(nil), t2...), star)
+	if r := DatasetRisk(t1000s, nil); math.Abs(r-2.0/1001) > 1e-12 {
+		t.Fatalf("R(T_1000*) = %g, want 2/1001", r)
+	}
+	if r := DatasetRisk(t2s, nil); math.Abs(r-501.0/1001) > 1e-12 {
+		t.Fatalf("R(T_2*) = %g, want 501/1001", r)
+	}
+}
+
+func TestDatasetRiskEdgeCases(t *testing.T) {
+	if r := DatasetRisk([]int{}, nil); r != 0 {
+		t.Fatalf("empty dataset risk = %g", r)
+	}
+	if r := DatasetRisk([]int{7}, nil); r != 1 {
+		t.Fatalf("singleton risk = %g", r)
+	}
+	all := []int{1, 2, 3, 4}
+	if r := DatasetRisk(all, nil); r != 1 {
+		t.Fatalf("all-unique risk = %g", r)
+	}
+}
+
+func TestCardinality(t *testing.T) {
+	if c := Cardinality([]string{}); c != 0 {
+		t.Fatalf("empty cardinality = %d", c)
+	}
+	if c := Cardinality([]string{"x", "y", "x"}); c != 2 {
+		t.Fatalf("cardinality = %d", c)
+	}
+}
+
+// Property (Theorem 1): under unit loss, dataset risk equals C(T)/N and
+// lies in [1/N, 1].
+func TestTheorem1Property(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]int, len(raw))
+		for i, r := range raw {
+			vals[i] = int(r % 16)
+		}
+		r := DatasetRisk(vals, nil)
+		want := float64(Cardinality(vals)) / float64(len(vals))
+		if math.Abs(r-want) > 1e-9 {
+			return false
+		}
+		return r >= 1/float64(len(vals))-1e-12 && r <= 1+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpectedRiskLemma1(t *testing.T) {
+	// Uniform loss on [0,1] has mean 0.5, so E[R] = C/(2N).
+	if got := ExpectedRisk(0.5, 100, 1000); math.Abs(got-0.05) > 1e-12 {
+		t.Fatalf("ExpectedRisk = %g", got)
+	}
+	if got := ExpectedRisk(0.5, 10, 0); got != 0 {
+		t.Fatalf("ExpectedRisk with N=0 = %g", got)
+	}
+}
+
+func TestCardinalityBounds(t *testing.T) {
+	b, err := CardinalityBounds(11, 40, 1, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lower: (11*40)^2, Upper: (11*40)^1000.
+	wantLower := 2 * math.Log(440)
+	wantUpper := 1000 * math.Log(440)
+	if math.Abs(b.LowerLog-wantLower) > 1e-9 || math.Abs(b.UpperLog-wantUpper) > 1e-9 {
+		t.Fatalf("bounds = %+v", b)
+	}
+}
+
+func TestCardinalityBoundsN0(t *testing.T) {
+	b, err := CardinalityBounds(11, 40, 0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n=0: both bounds reduce to C(E*).
+	if math.Abs(b.LowerLog-math.Log(11)) > 1e-9 || math.Abs(b.UpperLog-math.Log(11)) > 1e-9 {
+		t.Fatalf("bounds at n=0: %+v", b)
+	}
+}
+
+// Property (Theorem 2 / Corollary 1): both bounds grow monotonically -
+// indeed super-double-exponentially - in n when C(L*) > 1.
+func TestBoundsGrowth(t *testing.T) {
+	prevLower, prevUpper := 0.0, 0.0
+	prevLowerRatio := 0.0
+	for n := 0; n <= 6; n++ {
+		b, err := CardinalityBounds(11, 40, n, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n > 0 {
+			if b.LowerLog <= prevLower || b.UpperLog <= prevUpper {
+				t.Fatalf("bounds not growing at n=%d", n)
+			}
+			// Double-exponential growth means the log itself grows at
+			// least geometrically: log(n)/log(n-1) >= 2 for the lower
+			// bound.
+			if prevLower > 0 {
+				ratio := b.LowerLog / prevLower
+				if ratio < 2 {
+					t.Fatalf("lower bound log ratio %g < 2 at n=%d", ratio, n)
+				}
+				prevLowerRatio = ratio
+			}
+		}
+		prevLower, prevUpper = b.LowerLog, b.UpperLog
+	}
+	_ = prevLowerRatio
+}
+
+func TestCardinalityBoundsErrors(t *testing.T) {
+	if _, err := CardinalityBounds(0, 40, 1, 10); err == nil {
+		t.Fatal("entC 0 accepted")
+	}
+	if _, err := CardinalityBounds(11, 0.5, 1, 10); err == nil {
+		t.Fatal("linkC < 1 accepted")
+	}
+	if _, err := CardinalityBounds(11, 40, -1, 10); err == nil {
+		t.Fatal("negative n accepted")
+	}
+	if _, err := CardinalityBounds(11, 40, 1, 0); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+}
+
+func TestRiskCeiling(t *testing.T) {
+	// e^log(5)/1000 = 0.005.
+	if got := RiskCeiling(math.Log(5), 1000); math.Abs(got-0.005) > 1e-12 {
+		t.Fatalf("RiskCeiling = %g", got)
+	}
+	// Huge bound caps at 1.
+	if got := RiskCeiling(1e6, 1000); got != 1 {
+		t.Fatalf("uncapped ceiling: %g", got)
+	}
+	if got := RiskCeiling(1, 0); got != 0 {
+		t.Fatalf("zero-node ceiling: %g", got)
+	}
+}

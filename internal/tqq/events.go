@@ -1,0 +1,200 @@
+package tqq
+
+import (
+	"fmt"
+
+	"github.com/hinpriv/dehin/internal/hin"
+	"github.com/hinpriv/dehin/internal/randx"
+)
+
+// EventConfig parameterizes the event-level generator, which materializes
+// tweets and comments as entities (the paper's Figure 1 network) rather
+// than pre-projected user-user links. Projecting the result along
+// TargetMetaPaths yields a TargetSchema network, exercising the paper's
+// short-circuited-feature machinery end to end.
+type EventConfig struct {
+	Users int
+	Seed  uint64
+
+	// TweetsPerUser and CommentsPerUser are mean activity counts
+	// (geometrically distributed around these means).
+	TweetsPerUser   float64
+	CommentsPerUser float64
+	// MentionProb is the chance a tweet or comment mentions a user;
+	// RetweetProb the chance a tweet retweets another tweet; each comment
+	// always attaches to some tweet.
+	MentionProb float64
+	RetweetProb float64
+	// FollowAvgDeg is the mean follow out-degree.
+	FollowAvgDeg float64
+
+	// Profile model (shared with Config).
+	YearMin, YearMax int
+	GenderWeights    []float64
+	TweetCountMax    int
+	TagUniverse      int
+	MaxTags          int
+	TagZipf          float64
+}
+
+// DefaultEventConfig returns an event-level configuration for the given
+// user count.
+func DefaultEventConfig(users int, seed uint64) EventConfig {
+	base := DefaultConfig(users, seed)
+	return EventConfig{
+		Users:           users,
+		Seed:            seed,
+		TweetsPerUser:   4,
+		CommentsPerUser: 3,
+		MentionProb:     0.5,
+		RetweetProb:     0.4,
+		FollowAvgDeg:    5,
+		YearMin:         base.YearMin,
+		YearMax:         base.YearMax,
+		GenderWeights:   base.GenderWeights,
+		TweetCountMax:   base.TweetCountMax,
+		TagUniverse:     base.TagUniverse,
+		MaxTags:         base.MaxTags,
+		TagZipf:         base.TagZipf,
+	}
+}
+
+// GenerateEvents synthesizes an event-level t.qq network over EventSchema:
+// users post tweets and comments, tweets mention users and retweet tweets,
+// comments mention users and attach to tweets, and users follow users.
+func GenerateEvents(cfg EventConfig) (*hin.Graph, error) {
+	if cfg.Users < 2 {
+		return nil, fmt.Errorf("tqq: event generator needs >= 2 users, got %d", cfg.Users)
+	}
+	rng := randx.New(cfg.Seed)
+	schema := EventSchema()
+	b := hin.NewBuilder(schema)
+
+	gender, err := randx.NewAlias(cfg.GenderWeights)
+	if err != nil {
+		return nil, err
+	}
+	tagPop, err := randx.NewAlias(randx.ZipfWeights(cfg.TagUniverse, cfg.TagZipf))
+	if err != nil {
+		return nil, err
+	}
+
+	userType, _ := schema.EntityTypeID("User")
+	tweetType, _ := schema.EntityTypeID("Tweet")
+	commentType, _ := schema.EntityTypeID("Comment")
+	lt := func(name string) hin.LinkTypeID { return schema.MustLinkTypeID(name) }
+
+	users := make([]hin.EntityID, cfg.Users)
+	prng := rng.Split(1)
+	for i := range users {
+		yob := int64(prng.IntRange(cfg.YearMin, cfg.YearMax))
+		gen := int64(gender.Sample(prng))
+		tweets := int64(prng.LogUniformInt(0, cfg.TweetCountMax))
+		ntags := prng.Intn(cfg.MaxTags + 1)
+		users[i] = b.AddEntity(userType, fmt.Sprintf("u%05d", i), yob, gen, tweets, int64(ntags))
+		if ntags > 0 {
+			tags := make([]int32, 0, ntags)
+			for len(tags) < ntags {
+				t := int32(tagPop.Sample(prng))
+				if !containsInt32(tags, t) {
+					tags = append(tags, t)
+				}
+			}
+			b.SetSet(TagsAttr, users[i], tags)
+		}
+	}
+
+	// Tweets: posted, possibly mentioning users and retweeting earlier
+	// tweets.
+	trng := rng.Split(2)
+	var tweets []hin.EntityID
+	tweetAuthor := make(map[hin.EntityID]int)
+	for i, u := range users {
+		n := activity(trng, cfg.TweetsPerUser)
+		for j := 0; j < n; j++ {
+			tw := b.AddEntity(tweetType, fmt.Sprintf("t%d.%d", i, j))
+			if err := b.AddEdge(lt("post"), u, tw, 1); err != nil {
+				return nil, err
+			}
+			if trng.Bool(cfg.MentionProb) {
+				m := users[trng.Intn(cfg.Users)]
+				if m != u {
+					if err := b.AddEdge(lt("tweet_mention"), tw, m, 1); err != nil {
+						return nil, err
+					}
+				}
+			}
+			if len(tweets) > 0 && trng.Bool(cfg.RetweetProb) {
+				orig := tweets[trng.Intn(len(tweets))]
+				if tweetAuthor[orig] != i {
+					if err := b.AddEdge(lt("retweet_of"), tw, orig, 1); err != nil {
+						return nil, err
+					}
+				}
+			}
+			tweets = append(tweets, tw)
+			tweetAuthor[tw] = i
+		}
+	}
+	if len(tweets) == 0 {
+		return nil, fmt.Errorf("tqq: event generator produced no tweets; raise TweetsPerUser")
+	}
+
+	// Comments: posted, attached to a tweet, possibly mentioning users.
+	crng := rng.Split(3)
+	for i, u := range users {
+		n := activity(crng, cfg.CommentsPerUser)
+		for j := 0; j < n; j++ {
+			c := b.AddEntity(commentType, fmt.Sprintf("c%d.%d", i, j))
+			if err := b.AddEdge(lt("post_comment"), u, c, 1); err != nil {
+				return nil, err
+			}
+			target := tweets[crng.Intn(len(tweets))]
+			if err := b.AddEdge(lt("comment_on"), c, target, 1); err != nil {
+				return nil, err
+			}
+			if crng.Bool(cfg.MentionProb) {
+				m := users[crng.Intn(cfg.Users)]
+				if m != u {
+					if err := b.AddEdge(lt("comment_mention"), c, m, 1); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+
+	// Follow edges.
+	frng := rng.Split(4)
+	for _, u := range users {
+		n := activity(frng, cfg.FollowAvgDeg)
+		if n > cfg.Users-1 {
+			n = cfg.Users - 1
+		}
+		for _, j := range frng.SampleWithoutReplacement(cfg.Users, n) {
+			v := users[j]
+			if v == u {
+				continue
+			}
+			if err := b.AddEdge(lt(LinkFollow), u, v, 1); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return b.Build()
+}
+
+// activity draws a non-negative activity count with the given mean.
+func activity(rng *randx.RNG, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	return rng.Geometric(1/(mean+1)) - 1
+}
+
+// ProjectEvents projects an event-level network onto the target network
+// schema along the paper's target meta paths, returning the projected
+// user-user graph and the original user entity ids.
+func ProjectEvents(g *hin.Graph) (*hin.Graph, []hin.EntityID, error) {
+	return hin.ProjectGraph(g, "User", TargetMetaPaths())
+}

@@ -1,0 +1,137 @@
+package tqq
+
+import (
+	"testing"
+
+	"github.com/hinpriv/dehin/internal/hin"
+)
+
+func TestGenerateEventsAndProject(t *testing.T) {
+	cfg := DefaultEventConfig(120, 33)
+	g, err := GenerateEvents(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	userType, _ := g.Schema().EntityTypeID("User")
+	users := g.EntitiesOfType(userType)
+	if len(users) != 120 {
+		t.Fatalf("users = %d", len(users))
+	}
+	if g.NumEntities() <= 120 {
+		t.Fatal("no tweet/comment entities generated")
+	}
+
+	pg, origs, err := ProjectEvents(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pg.NumEntities() != 120 || len(origs) != 120 {
+		t.Fatalf("projected users = %d", pg.NumEntities())
+	}
+	// The projected schema carries the four target link types.
+	for _, name := range LinkNames {
+		if _, ok := pg.Schema().LinkTypeID(name); !ok {
+			t.Fatalf("projected schema missing %q", name)
+		}
+	}
+	// Profiles survive projection.
+	for i, orig := range origs {
+		if pg.Attr(hin.EntityID(i), AttrYob) != g.Attr(orig, AttrYob) {
+			t.Fatalf("yob lost for user %d", i)
+		}
+	}
+	// Some heterogeneous links must exist.
+	mention := pg.Schema().MustLinkTypeID(LinkMention)
+	follow := pg.Schema().MustLinkTypeID(LinkFollow)
+	if pg.NumEdges(mention) == 0 {
+		t.Fatal("no short-circuited mention links")
+	}
+	if pg.NumEdges(follow) == 0 {
+		t.Fatal("no reproduced follow links")
+	}
+}
+
+// TestProjectionMatchesManualCount cross-checks one user's short-circuited
+// mention strength against a hand count over the event graph.
+func TestProjectionMatchesManualCount(t *testing.T) {
+	cfg := DefaultEventConfig(60, 9)
+	g, err := GenerateEvents(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, origs, err := ProjectEvents(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := g.Schema()
+	post := s.MustLinkTypeID("post")
+	postc := s.MustLinkTypeID("post_comment")
+	tmention := s.MustLinkTypeID("tweet_mention")
+	cmention := s.MustLinkTypeID("comment_mention")
+
+	mention := pg.Schema().MustLinkTypeID(LinkMention)
+	back := make(map[hin.EntityID]hin.EntityID, len(origs))
+	for i, o := range origs {
+		back[o] = hin.EntityID(i)
+	}
+	for pi, orig := range origs {
+		want := make(map[hin.EntityID]int32)
+		tos, _ := g.OutEdges(post, orig)
+		for _, tw := range tos {
+			ms, _ := g.OutEdges(tmention, tw)
+			for _, m := range ms {
+				want[back[m]]++
+			}
+		}
+		cs, _ := g.OutEdges(postc, orig)
+		for _, c := range cs {
+			ms, _ := g.OutEdges(cmention, c)
+			for _, m := range ms {
+				want[back[m]]++
+			}
+		}
+		gts, gws := pg.OutEdges(mention, hin.EntityID(pi))
+		if len(gts) != len(want) {
+			t.Fatalf("user %d: %d mention edges, want %d", pi, len(gts), len(want))
+		}
+		for i, to := range gts {
+			if want[to] != gws[i] {
+				t.Fatalf("user %d -> %d: strength %d, want %d", pi, to, gws[i], want[to])
+			}
+		}
+	}
+}
+
+func TestGenerateEventsErrors(t *testing.T) {
+	cfg := DefaultEventConfig(1, 1)
+	if _, err := GenerateEvents(cfg); err == nil {
+		t.Fatal("single-user event network accepted")
+	}
+	cfg = DefaultEventConfig(10, 1)
+	cfg.TweetsPerUser = 0
+	cfg.CommentsPerUser = 0
+	if _, err := GenerateEvents(cfg); err == nil {
+		t.Fatal("tweetless network accepted")
+	}
+}
+
+func TestEventSchemaProjectsToTargetSchema(t *testing.T) {
+	ps, err := hin.ProjectSchema(EventSchema(), "User", TargetMetaPaths())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := TargetSchema()
+	if ps.NumLinkTypes() != want.NumLinkTypes() {
+		t.Fatalf("projected link types = %d, want %d", ps.NumLinkTypes(), want.NumLinkTypes())
+	}
+	for _, name := range LinkNames {
+		pid, ok := ps.LinkTypeID(name)
+		if !ok {
+			t.Fatalf("missing %q", name)
+		}
+		wid := want.MustLinkTypeID(name)
+		if ps.LinkType(pid).Weighted != want.LinkType(wid).Weighted {
+			t.Fatalf("%q weightedness differs", name)
+		}
+	}
+}

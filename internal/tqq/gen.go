@@ -1,0 +1,553 @@
+package tqq
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/hinpriv/dehin/internal/hin"
+	"github.com/hinpriv/dehin/internal/randx"
+)
+
+// CommunitySpec requests one planted community: Size users whose induced
+// subgraph has exactly the Equation-4 density Density (up to rounding to a
+// whole number of edges). Planted communities play the role of the paper's
+// sampled 1000-vertex target graphs of known density.
+type CommunitySpec struct {
+	Size    int
+	Density float64
+}
+
+// Config parameterizes the synthetic t.qq generator. The zero value is not
+// usable; start from DefaultConfig.
+type Config struct {
+	// Users is the total number of user entities (the paper's auxiliary
+	// network has 2,320,895; experiments here default to a scaled-down
+	// network and record the size used).
+	Users int
+	// Seed drives all generator randomness.
+	Seed uint64
+
+	// YearMin and YearMax bound the year-of-birth attribute; the default
+	// span of 87 years matches the paper's reported yob cardinality.
+	YearMin, YearMax int
+	// GenderWeights give the relative frequency of the gender codes
+	// 0..len-1. Three codes match the paper's gender cardinality of 3.
+	GenderWeights []float64
+	// TweetCountMax bounds the log-uniform tweet-count attribute. The
+	// default of 30000 yields ~640 distinct values per 1000 users,
+	// matching the paper's tweet-count cardinality of 643.
+	TweetCountMax int
+	// TagUniverse is the number of distinct tag IDs; MaxTags the largest
+	// per-user tag-set size (uniform 0..MaxTags gives the paper's
+	// number-of-tags cardinality of MaxTags+1 = 11); TagZipf the skew of
+	// tag popularity.
+	TagUniverse int
+	MaxTags     int
+	TagZipf     float64
+
+	// BackgroundAvgOutDeg is the mean out-degree per link type of the
+	// background (non-community) edge process; DegreeAlpha its power-law
+	// exponent and DegreeMax the largest raw degree draw.
+	BackgroundAvgOutDeg float64
+	DegreeAlpha         float64
+	DegreeMax           int
+
+	// StrengthP is the geometric parameter for link strengths (mention/
+	// retweet/comment counts); StrengthMax caps them.
+	StrengthP   float64
+	StrengthMax int
+
+	// ZeroOutFrac is the MINIMUM fraction of community members with no
+	// out-edges of a given link type. Real induced samples of social
+	// networks have a sizable per-type isolated population - it is what
+	// keeps the paper's single-link-type risk at ~84-90% rather than
+	// ~100% at distance 1 (isolated users collide on profile features
+	// alone). At low densities the effective zero fraction grows well
+	// beyond this floor: edges concentrate on a heavy tail (see
+	// DegreeTailAlpha) and most members end up isolated, exactly like a
+	// sparse induced sample of a power-law graph.
+	ZeroOutFrac float64
+	// DegreeTailAlpha is the power-law exponent of non-isolated community
+	// members' out-degrees. The planter keeps this tail shape fixed and
+	// absorbs low edge budgets by enlarging the isolated population; only
+	// when the budget exceeds what the tail can carry at the minimum zero
+	// fraction does the exponent decrease.
+	DegreeTailAlpha float64
+
+	// Communities are the planted target blocks.
+	Communities []CommunitySpec
+
+	// Items is the number of recommendable items; RecPerUser the average
+	// number of recommendation log entries per user.
+	Items      int
+	RecPerUser int
+}
+
+// DefaultConfig returns a configuration calibrated to the paper's reported
+// dataset statistics, with users scaled down from 2.3M to the given count.
+func DefaultConfig(users int, seed uint64) Config {
+	return Config{
+		Users:               users,
+		Seed:                seed,
+		YearMin:             1920,
+		YearMax:             2006, // 87 distinct years
+		GenderWeights:       []float64{0.52, 0.42, 0.06},
+		TweetCountMax:       30000,
+		TagUniverse:         500,
+		MaxTags:             10,
+		TagZipf:             1.1,
+		BackgroundAvgOutDeg: 6.5,
+		DegreeAlpha:         2.3,
+		DegreeMax:           300,
+		StrengthP:           0.35,
+		StrengthMax:         60,
+		ZeroOutFrac:         0.10,
+		DegreeTailAlpha:     1.8,
+		Items:               200,
+		RecPerUser:          3,
+	}
+}
+
+// Item is a recommendable entity from the recommendation log (the paper's
+// motivating example uses bank-account recommendations).
+type Item struct {
+	ID       int32
+	Name     string
+	Category string
+}
+
+// RecEntry is one recommendation preference log record: the user was shown
+// the item and accepted or rejected it. This is the sensitive payload the
+// adversary is after.
+type RecEntry struct {
+	User     hin.EntityID
+	Item     int32
+	Accepted bool
+}
+
+// Dataset bundles a generated network with its recommendation log and the
+// planted community memberships.
+type Dataset struct {
+	Graph *hin.Graph
+	Items []Item
+	Rec   []RecEntry
+	// Communities[i] lists the user ids of the i-th requested community,
+	// in ascending order.
+	Communities [][]hin.EntityID
+}
+
+// Generate synthesizes a dataset per cfg. It returns an error if the
+// configuration is inconsistent (too few users for the requested
+// communities, bad ranges, or a community density that exceeds 1).
+func Generate(cfg Config) (*Dataset, error) {
+	if err := validate(&cfg); err != nil {
+		return nil, err
+	}
+	rng := randx.New(cfg.Seed)
+	schema := TargetSchema()
+	b := hin.NewBuilder(schema)
+
+	genProfiles(b, cfg, rng.Split(1))
+
+	// Reserve community members: disjoint random user sets.
+	comms, inCommunity, err := placeCommunities(cfg, rng.Split(2))
+	if err != nil {
+		return nil, err
+	}
+	for i, spec := range cfg.Communities {
+		if err := plantCommunity(b, schema, spec, comms[i], cfg, rng.Split(uint64(10+i))); err != nil {
+			return nil, err
+		}
+	}
+	genBackground(b, schema, cfg, inCommunity, rng.Split(3))
+
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	items, rec := genRecLog(cfg, rng.Split(4))
+	return &Dataset{Graph: g, Items: items, Rec: rec, Communities: comms}, nil
+}
+
+func validate(cfg *Config) error {
+	if cfg.Users < 1 {
+		return fmt.Errorf("tqq: Users must be positive, got %d", cfg.Users)
+	}
+	if cfg.YearMax < cfg.YearMin {
+		return fmt.Errorf("tqq: YearMax %d < YearMin %d", cfg.YearMax, cfg.YearMin)
+	}
+	if len(cfg.GenderWeights) == 0 {
+		return fmt.Errorf("tqq: GenderWeights empty")
+	}
+	if cfg.TweetCountMax < 0 || cfg.MaxTags < 0 || cfg.TagUniverse < cfg.MaxTags {
+		return fmt.Errorf("tqq: invalid profile ranges")
+	}
+	if cfg.StrengthP <= 0 || cfg.StrengthP > 1 {
+		return fmt.Errorf("tqq: StrengthP must be in (0,1], got %g", cfg.StrengthP)
+	}
+	if cfg.StrengthMax < 1 {
+		return fmt.Errorf("tqq: StrengthMax must be >= 1")
+	}
+	if cfg.ZeroOutFrac < 0 || cfg.ZeroOutFrac >= 1 {
+		return fmt.Errorf("tqq: ZeroOutFrac must be in [0,1), got %g", cfg.ZeroOutFrac)
+	}
+	if cfg.DegreeTailAlpha <= 1 {
+		return fmt.Errorf("tqq: DegreeTailAlpha must be > 1, got %g", cfg.DegreeTailAlpha)
+	}
+	total := 0
+	for i, c := range cfg.Communities {
+		if c.Size < 2 {
+			return fmt.Errorf("tqq: community %d size %d too small", i, c.Size)
+		}
+		if c.Density < 0 || c.Density > 1 {
+			return fmt.Errorf("tqq: community %d density %g out of [0,1]", i, c.Density)
+		}
+		total += c.Size
+	}
+	if total > cfg.Users {
+		return fmt.Errorf("tqq: communities need %d users, only %d available", total, cfg.Users)
+	}
+	return nil
+}
+
+// genProfiles adds all user entities with calibrated profile attributes.
+func genProfiles(b *hin.Builder, cfg Config, rng *randx.RNG) {
+	gender, err := randx.NewAlias(cfg.GenderWeights)
+	if err != nil {
+		panic(err) // validated already
+	}
+	tagPop, err := randx.NewAlias(randx.ZipfWeights(cfg.TagUniverse, cfg.TagZipf))
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < cfg.Users; i++ {
+		yob := int64(rng.IntRange(cfg.YearMin, cfg.YearMax))
+		gen := int64(gender.Sample(rng))
+		tweets := int64(rng.LogUniformInt(0, cfg.TweetCountMax))
+		ntags := rng.Intn(cfg.MaxTags + 1)
+		id := b.AddEntity(0, fmt.Sprintf("u%07d", i), yob, gen, tweets, int64(ntags))
+		if ntags > 0 {
+			tags := make([]int32, 0, ntags)
+			seen := make(map[int32]bool, ntags)
+			for len(tags) < ntags {
+				t := int32(tagPop.Sample(rng))
+				if !seen[t] {
+					seen[t] = true
+					tags = append(tags, t)
+				}
+			}
+			b.SetSet(TagsAttr, id, tags)
+		}
+	}
+}
+
+// placeCommunities picks disjoint random user sets for the requested
+// communities and returns them (each ascending) plus a membership mask.
+func placeCommunities(cfg Config, rng *randx.RNG) ([][]hin.EntityID, []bool, error) {
+	total := 0
+	for _, c := range cfg.Communities {
+		total += c.Size
+	}
+	inCommunity := make([]bool, cfg.Users)
+	if total == 0 {
+		return nil, inCommunity, nil
+	}
+	pool := rng.SampleWithoutReplacement(cfg.Users, total)
+	comms := make([][]hin.EntityID, len(cfg.Communities))
+	at := 0
+	for i, c := range cfg.Communities {
+		ids := make([]hin.EntityID, c.Size)
+		for j := 0; j < c.Size; j++ {
+			ids[j] = hin.EntityID(pool[at])
+			inCommunity[pool[at]] = true
+			at++
+		}
+		sortEntityIDs(ids)
+		comms[i] = ids
+	}
+	return comms, inCommunity, nil
+}
+
+// plantCommunity adds intra-community edges so that the induced subgraph on
+// members has exactly the spec'd Equation-4 density. The edge budget is
+// split evenly across link types (remainder to the earliest types) and each
+// type's edges follow a power-law out-degree profile within the block.
+func plantCommunity(b *hin.Builder, schema *hin.Schema, spec CommunitySpec, members []hin.EntityID, cfg Config, rng *randx.RNG) error {
+	nTypes := schema.NumLinkTypes()
+	budget := int64(spec.Density*float64(hin.MaxEdges(schema, spec.Size)) + 0.5)
+	maxPerType := int64(spec.Size) * int64(spec.Size-1)
+	for lt := 0; lt < nTypes; lt++ {
+		share := budget / int64(nTypes)
+		if int64(lt) < budget%int64(nTypes) {
+			share++
+		}
+		if share > maxPerType {
+			return fmt.Errorf("tqq: community density %g overfills link type %d", spec.Density, lt)
+		}
+		if err := plantTypeEdges(b, schema, hin.LinkTypeID(lt), members, share, cfg, rng.Split(uint64(lt))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// plantTypeEdges adds exactly budget edges of one link type among members.
+// A ZeroOutFrac share of members gets no out-edges of this type (induced
+// social-network samples always have a per-type isolated population); the
+// rest draw out-degree quotas from a power law whose exponent is solved so
+// the expected total meets the budget, preserving the real skew - a mass
+// of degree-1-and-2 users plus a heavy tail - at every density. Each
+// source gets distinct destinations, so no duplicates arise and the edge
+// count is exact after a small random repair.
+func plantTypeEdges(b *hin.Builder, schema *hin.Schema, lt hin.LinkTypeID, members []hin.EntityID, budget int64, cfg Config, rng *randx.RNG) error {
+	if budget == 0 {
+		return nil
+	}
+	size := len(members)
+	// Decide the isolated fraction: keep the degree tail's shape fixed
+	// and let sparsity enlarge the zero population, as in real induced
+	// samples. zeroFrac = 1 - budget/(size * tailMean), floored at
+	// cfg.ZeroOutFrac; if the budget exceeds what the tail carries at the
+	// floor, the tail is made heavier instead (powerLawWithMean).
+	tail, err := randx.NewPowerLaw(1, size-1, cfg.DegreeTailAlpha)
+	if err != nil {
+		return err
+	}
+	wantMeanAll := float64(budget) / float64(size)
+	zeroFrac := 1 - wantMeanAll/tail.Mean()
+	if zeroFrac < cfg.ZeroOutFrac {
+		zeroFrac = cfg.ZeroOutFrac
+	}
+	active := make([]bool, size)
+	nActive := 0
+	for i := range active {
+		if !rng.Bool(zeroFrac) {
+			active[i] = true
+			nActive++
+		}
+	}
+	// Ensure the budget is reachable: activate more members if needed.
+	for int64(nActive)*int64(size-1) < budget {
+		i := rng.Intn(size)
+		if !active[i] {
+			active[i] = true
+			nActive++
+		}
+	}
+	wantMean := float64(budget) / float64(nActive)
+	pl := tail
+	if wantMean > tail.Mean() {
+		pl, err = powerLawWithMean(size-1, wantMean)
+		if err != nil {
+			return err
+		}
+	}
+	quota := make([]int, size)
+	var assigned int64
+	for i := range quota {
+		if !active[i] {
+			continue
+		}
+		q := pl.Sample(rng)
+		if q > size-1 {
+			q = size - 1
+		}
+		quota[i] = q
+		assigned += int64(q)
+	}
+	// The heavy tail makes the drawn total high-variance; an unlucky big
+	// draw can overshoot the budget by a multiple. Rescale quotas
+	// proportionally first (keeping every active member at >= 1 so the
+	// isolated population stays exactly the mask), then repair the small
+	// residue randomly.
+	if assigned > budget {
+		scale := float64(budget) / float64(assigned)
+		assigned = 0
+		for i, q := range quota {
+			if q == 0 {
+				continue
+			}
+			nq := int(float64(q) * scale)
+			if nq < 1 {
+				nq = 1
+			}
+			quota[i] = nq
+			assigned += int64(nq)
+		}
+	}
+	for assigned < budget {
+		i := rng.Intn(size)
+		if active[i] && quota[i] < size-1 {
+			quota[i]++
+			assigned++
+		}
+	}
+	tries := 0
+	for assigned > budget {
+		i := rng.Intn(size)
+		// Prefer trimming the tail; only zero out degree-1 members when
+		// the overshoot leaves no choice (budget below the active count).
+		if quota[i] > 1 || (tries > 10*size && quota[i] > 0) {
+			quota[i]--
+			assigned--
+		}
+		tries++
+	}
+	weighted := schema.LinkType(lt).Weighted
+	for i, q := range quota {
+		if q == 0 {
+			continue
+		}
+		src := members[i]
+		for _, j := range rng.SampleWithoutReplacement(size-1, q) {
+			// Map [0,size-1) onto member indices skipping self.
+			dj := j
+			if dj >= i {
+				dj++
+			}
+			w := int32(1)
+			if weighted {
+				w = strength(cfg, rng)
+			}
+			if err := b.AddEdge(lt, src, members[dj], w); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// genBackground adds sparse power-law edges among all users. Edges whose
+// endpoints both lie inside the same community are skipped so planted
+// densities stay exact; community members still get background edges to
+// the outside, which is what makes de-anonymizing against the full
+// auxiliary network non-trivial.
+func genBackground(b *hin.Builder, schema *hin.Schema, cfg Config, inCommunity []bool, rng *randx.RNG) {
+	if cfg.Users < 2 || cfg.BackgroundAvgOutDeg <= 0 {
+		return
+	}
+	maxDeg := cfg.DegreeMax
+	if maxDeg > cfg.Users-1 {
+		maxDeg = cfg.Users - 1
+	}
+	pl, err := randx.NewPowerLaw(1, maxDeg, cfg.DegreeAlpha)
+	if err != nil {
+		panic(err)
+	}
+	scale := cfg.BackgroundAvgOutDeg / pl.Mean()
+	for lt := 0; lt < schema.NumLinkTypes(); lt++ {
+		ltr := rng.Split(uint64(lt))
+		weighted := schema.LinkType(hin.LinkTypeID(lt)).Weighted
+		for u := 0; u < cfg.Users; u++ {
+			deg := int(float64(pl.Sample(ltr))*scale + ltr.Float64())
+			for e := 0; e < deg; e++ {
+				v := ltr.Intn(cfg.Users)
+				if v == u {
+					continue
+				}
+				if inCommunity[u] && inCommunity[v] {
+					// May be the same community; keep planted densities
+					// exact by skipping all community-internal pairs.
+					continue
+				}
+				w := int32(1)
+				if weighted {
+					w = strength(cfg, ltr)
+				}
+				// Duplicate (u,v) pairs merge at Build; they are rare and
+				// merely nudge strengths, matching organic repeat
+				// interactions.
+				if err := b.AddEdge(hin.LinkTypeID(lt), hin.EntityID(u), hin.EntityID(v), w); err != nil {
+					panic(err) // endpoints are in range by construction
+				}
+			}
+		}
+	}
+}
+
+// powerLawWithMean builds a power-law sampler on [1, maxK] whose exponent
+// is solved (by bisection; the truncated mean is monotone in alpha) so the
+// mean approximates wantMean. Out-of-range means clamp to the nearest
+// achievable exponent; the caller's budget repair closes the residue.
+func powerLawWithMean(maxK int, wantMean float64) (*randx.PowerLaw, error) {
+	const aLo, aHi = 1.01, 8.0
+	lo, err := randx.NewPowerLaw(1, maxK, aHi)
+	if err != nil {
+		return nil, err
+	}
+	if wantMean <= lo.Mean() {
+		return lo, nil
+	}
+	hi, err := randx.NewPowerLaw(1, maxK, aLo)
+	if err != nil {
+		return nil, err
+	}
+	if wantMean >= hi.Mean() {
+		return hi, nil
+	}
+	a, b := aLo, aHi // mean decreases in alpha: mean(a) > wantMean > mean(b)
+	var best *randx.PowerLaw
+	for i := 0; i < 40; i++ {
+		mid := (a + b) / 2
+		pl, err := randx.NewPowerLaw(1, maxK, mid)
+		if err != nil {
+			return nil, err
+		}
+		best = pl
+		if pl.Mean() > wantMean {
+			a = mid
+		} else {
+			b = mid
+		}
+	}
+	return best, nil
+}
+
+// strength draws a link strength: geometric with cap, giving the heavy
+// head (strength 1-3) and occasional strong ties real interaction counts
+// show.
+func strength(cfg Config, rng *randx.RNG) int32 {
+	s := rng.Geometric(cfg.StrengthP)
+	if s > cfg.StrengthMax {
+		s = cfg.StrengthMax
+	}
+	return int32(s)
+}
+
+// genRecLog synthesizes items and the recommendation preference log.
+func genRecLog(cfg Config, rng *randx.RNG) ([]Item, []RecEntry) {
+	if cfg.Items == 0 {
+		return nil, nil
+	}
+	categories := []string{"bank", "celebrity", "news", "sports", "tech"}
+	items := make([]Item, cfg.Items)
+	for i := range items {
+		cat := categories[i%len(categories)]
+		items[i] = Item{
+			ID:       int32(i),
+			Name:     fmt.Sprintf("%s-%03d", cat, i),
+			Category: cat,
+		}
+	}
+	pop, err := randx.NewAlias(randx.ZipfWeights(cfg.Items, 1.0))
+	if err != nil {
+		panic(err)
+	}
+	var rec []RecEntry
+	for u := 0; u < cfg.Users; u++ {
+		n := rng.Intn(2*cfg.RecPerUser + 1)
+		for i := 0; i < n; i++ {
+			rec = append(rec, RecEntry{
+				User:     hin.EntityID(u),
+				Item:     int32(pop.Sample(rng)),
+				Accepted: rng.Bool(0.3),
+			})
+		}
+	}
+	return items, rec
+}
+
+// sortEntityIDs sorts ids ascending in place.
+func sortEntityIDs(ids []hin.EntityID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}

@@ -1,0 +1,121 @@
+package tqq
+
+import (
+	"testing"
+
+	"github.com/hinpriv/dehin/internal/hin"
+)
+
+func TestGrowSupersetProperty(t *testing.T) {
+	cfg := DefaultConfig(800, 21)
+	cfg.Communities = []CommunitySpec{{Size: 150, Density: 0.01}}
+	d, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gcfg := DefaultGrowth(77)
+	gcfg.NewUsers = 100
+	grown, err := Grow(d, cfg, gcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grown.Graph.NumEntities() != 900 {
+		t.Fatalf("grown users = %d", grown.Graph.NumEntities())
+	}
+	// Threat model (Section 5.1): the auxiliary "contains all the target
+	// users and links among them" - every original edge survives with
+	// strength >= original, every counter is monotone, identities stable.
+	for v := 0; v < 800; v++ {
+		id := hin.EntityID(v)
+		if grown.Graph.Label(id) != d.Graph.Label(id) {
+			t.Fatalf("label changed for %d", v)
+		}
+		if grown.Graph.Attr(id, AttrYob) != d.Graph.Attr(id, AttrYob) {
+			t.Fatalf("yob changed for %d", v)
+		}
+		if grown.Graph.Attr(id, AttrGender) != d.Graph.Attr(id, AttrGender) {
+			t.Fatalf("gender changed for %d", v)
+		}
+		if grown.Graph.Attr(id, AttrTweets) < d.Graph.Attr(id, AttrTweets) {
+			t.Fatalf("tweet count shrank for %d", v)
+		}
+		if grown.Graph.Attr(id, AttrNumTags) < d.Graph.Attr(id, AttrNumTags) {
+			t.Fatalf("numtags shrank for %d", v)
+		}
+		// Original tags form a subset of the grown tags.
+		old := d.Graph.Set(TagsAttr, id)
+		now := grown.Graph.Set(TagsAttr, id)
+		for _, tag := range old {
+			if !containsInt32(now, tag) {
+				t.Fatalf("tag %d disappeared for %d", tag, v)
+			}
+		}
+		for lt := 0; lt < 4; lt++ {
+			tos, ws := d.Graph.OutEdges(hin.LinkTypeID(lt), id)
+			for i, to := range tos {
+				w, ok := grown.Graph.FindEdge(hin.LinkTypeID(lt), id, to)
+				if !ok {
+					t.Fatalf("edge lt=%d %d->%d disappeared", lt, v, to)
+				}
+				if w < ws[i] {
+					t.Fatalf("edge lt=%d %d->%d strength shrank %d -> %d", lt, v, to, ws[i], w)
+				}
+			}
+		}
+	}
+	if grown.Graph.NumEdgesTotal() <= d.Graph.NumEdgesTotal() {
+		t.Fatal("growth added no edges")
+	}
+}
+
+func TestGrowDeterministic(t *testing.T) {
+	cfg := DefaultConfig(300, 2)
+	d, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, err := Grow(d, cfg, DefaultGrowth(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Grow(d, cfg, DefaultGrowth(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.Graph.NumEdgesTotal() != g2.Graph.NumEdgesTotal() {
+		t.Fatal("growth not deterministic")
+	}
+}
+
+func TestGrowErrors(t *testing.T) {
+	cfg := DefaultConfig(50, 1)
+	d, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultGrowth(1)
+	bad.NewUsers = -1
+	if _, err := Grow(d, cfg, bad); err == nil {
+		t.Fatal("negative NewUsers accepted")
+	}
+	bad = DefaultGrowth(1)
+	bad.NewEdgeFrac = -0.5
+	if _, err := Grow(d, cfg, bad); err == nil {
+		t.Fatal("negative NewEdgeFrac accepted")
+	}
+}
+
+func TestGrowZeroIsStillSuperset(t *testing.T) {
+	cfg := DefaultConfig(200, 9)
+	d, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown, err := Grow(d, cfg, GrowthConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grown.Graph.NumEntities() != 200 || grown.Graph.NumEdgesTotal() != d.Graph.NumEdgesTotal() {
+		t.Fatal("zero growth changed the network")
+	}
+}

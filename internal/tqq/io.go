@@ -1,0 +1,325 @@
+package tqq
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"github.com/hinpriv/dehin/internal/hin"
+)
+
+// File names of the on-disk dataset layout, mirroring the KDD Cup 2012
+// track-1 release (tab-separated text, one record per line).
+const (
+	fileProfile     = "user_profile.txt"
+	fileFollow      = "user_sns.txt" // the KDD release calls the follow file user_sns
+	fileMention     = "user_mention.txt"
+	fileRetweet     = "user_retweet.txt"
+	fileComment     = "user_comment.txt"
+	fileItems       = "item.txt"
+	fileRec         = "rec_log.txt"
+	fileCommunities = "communities.txt"
+)
+
+// WriteDataset persists d under dir in the KDD-Cup-like text layout:
+//
+//	user_profile.txt   user \t yob \t gender \t tweets \t tag;tag;...
+//	user_sns.txt       follower \t followee
+//	user_mention.txt   user \t user \t strength   (likewise retweet, comment)
+//	item.txt           id \t name \t category
+//	rec_log.txt        user \t item \t 1|-1
+//	communities.txt    space-separated member labels, one community per line
+//
+// Users are identified by their labels, as in the real release.
+func WriteDataset(d *Dataset, dir string) (err error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	g := d.Graph
+	schema := g.Schema()
+
+	write := func(name string, fn func(w *bufio.Writer) error) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		w := bufio.NewWriter(f)
+		if err := fn(w); err != nil {
+			f.Close()
+			return err
+		}
+		if err := w.Flush(); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+
+	if err := write(fileProfile, func(w *bufio.Writer) error {
+		for v := 0; v < g.NumEntities(); v++ {
+			id := hin.EntityID(v)
+			tags := g.Set(TagsAttr, id)
+			parts := make([]string, len(tags))
+			for i, t := range tags {
+				parts[i] = strconv.Itoa(int(t))
+			}
+			if _, err := fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%s\n",
+				g.Label(id), g.Attr(id, AttrYob), g.Attr(id, AttrGender),
+				g.Attr(id, AttrTweets), strings.Join(parts, ";")); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	linkFile := map[string]string{
+		LinkFollow:  fileFollow,
+		LinkMention: fileMention,
+		LinkRetweet: fileRetweet,
+		LinkComment: fileComment,
+	}
+	for _, name := range LinkNames {
+		lt := schema.MustLinkTypeID(name)
+		weighted := schema.LinkType(lt).Weighted
+		if err := write(linkFile[name], func(w *bufio.Writer) error {
+			for v := 0; v < g.NumEntities(); v++ {
+				tos, ws := g.OutEdges(lt, hin.EntityID(v))
+				for i, to := range tos {
+					if weighted {
+						if _, err := fmt.Fprintf(w, "%s\t%s\t%d\n",
+							g.Label(hin.EntityID(v)), g.Label(to), ws[i]); err != nil {
+							return err
+						}
+					} else {
+						if _, err := fmt.Fprintf(w, "%s\t%s\n",
+							g.Label(hin.EntityID(v)), g.Label(to)); err != nil {
+							return err
+						}
+					}
+				}
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+
+	if err := write(fileItems, func(w *bufio.Writer) error {
+		for _, it := range d.Items {
+			if _, err := fmt.Fprintf(w, "%d\t%s\t%s\n", it.ID, it.Name, it.Category); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	if err := write(fileRec, func(w *bufio.Writer) error {
+		for _, r := range d.Rec {
+			res := -1
+			if r.Accepted {
+				res = 1
+			}
+			if _, err := fmt.Fprintf(w, "%s\t%d\t%d\n", g.Label(r.User), r.Item, res); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	return write(fileCommunities, func(w *bufio.Writer) error {
+		for _, c := range d.Communities {
+			parts := make([]string, len(c))
+			for i, v := range c {
+				parts[i] = g.Label(v)
+			}
+			if _, err := fmt.Fprintln(w, strings.Join(parts, " ")); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// LoadDataset reads a dataset previously written by WriteDataset.
+func LoadDataset(dir string) (*Dataset, error) {
+	schema := TargetSchema()
+	b := hin.NewBuilder(schema)
+	byLabel := make(map[string]hin.EntityID)
+
+	if err := eachLine(filepath.Join(dir, fileProfile), func(lineNo int, fields []string) error {
+		if len(fields) != 5 {
+			return fmt.Errorf("want 5 fields, got %d", len(fields))
+		}
+		yob, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return fmt.Errorf("yob: %v", err)
+		}
+		gender, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil {
+			return fmt.Errorf("gender: %v", err)
+		}
+		tweets, err := strconv.ParseInt(fields[3], 10, 64)
+		if err != nil {
+			return fmt.Errorf("tweets: %v", err)
+		}
+		var tags []int32
+		if fields[4] != "" {
+			for _, p := range strings.Split(fields[4], ";") {
+				t, err := strconv.ParseInt(p, 10, 32)
+				if err != nil {
+					return fmt.Errorf("tag %q: %v", p, err)
+				}
+				tags = append(tags, int32(t))
+			}
+		}
+		if _, dup := byLabel[fields[0]]; dup {
+			return fmt.Errorf("duplicate user %q", fields[0])
+		}
+		id := b.AddEntity(0, fields[0], yob, gender, tweets, int64(len(tags)))
+		if len(tags) > 0 {
+			b.SetSet(TagsAttr, id, tags)
+		}
+		byLabel[fields[0]] = id
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	resolve := func(label string) (hin.EntityID, error) {
+		id, ok := byLabel[label]
+		if !ok {
+			return 0, fmt.Errorf("unknown user %q", label)
+		}
+		return id, nil
+	}
+
+	linkFile := map[string]string{
+		LinkFollow:  fileFollow,
+		LinkMention: fileMention,
+		LinkRetweet: fileRetweet,
+		LinkComment: fileComment,
+	}
+	for _, name := range LinkNames {
+		lt := schema.MustLinkTypeID(name)
+		weighted := schema.LinkType(lt).Weighted
+		if err := eachLine(filepath.Join(dir, linkFile[name]), func(lineNo int, fields []string) error {
+			want := 2
+			if weighted {
+				want = 3
+			}
+			if len(fields) != want {
+				return fmt.Errorf("want %d fields, got %d", want, len(fields))
+			}
+			from, err := resolve(fields[0])
+			if err != nil {
+				return err
+			}
+			to, err := resolve(fields[1])
+			if err != nil {
+				return err
+			}
+			w := int32(1)
+			if weighted {
+				x, err := strconv.ParseInt(fields[2], 10, 32)
+				if err != nil {
+					return fmt.Errorf("strength: %v", err)
+				}
+				w = int32(x)
+			}
+			return b.AddEdge(lt, from, to, w)
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	d := &Dataset{}
+	if err := eachLine(filepath.Join(dir, fileItems), func(lineNo int, fields []string) error {
+		if len(fields) != 3 {
+			return fmt.Errorf("want 3 fields, got %d", len(fields))
+		}
+		id, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil {
+			return fmt.Errorf("item id: %v", err)
+		}
+		d.Items = append(d.Items, Item{ID: int32(id), Name: fields[1], Category: fields[2]})
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := eachLine(filepath.Join(dir, fileRec), func(lineNo int, fields []string) error {
+		if len(fields) != 3 {
+			return fmt.Errorf("want 3 fields, got %d", len(fields))
+		}
+		u, err := resolve(fields[0])
+		if err != nil {
+			return err
+		}
+		item, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil {
+			return fmt.Errorf("item: %v", err)
+		}
+		d.Rec = append(d.Rec, RecEntry{User: u, Item: int32(item), Accepted: fields[2] == "1"})
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := eachLineSep(filepath.Join(dir, fileCommunities), " ", func(lineNo int, fields []string) error {
+		var ids []hin.EntityID
+		for _, label := range fields {
+			id, err := resolve(label)
+			if err != nil {
+				return err
+			}
+			ids = append(ids, id)
+		}
+		d.Communities = append(d.Communities, ids)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	d.Graph = g
+	return d, nil
+}
+
+// eachLine streams a tab-separated file line by line.
+func eachLine(path string, fn func(lineNo int, fields []string) error) error {
+	return eachLineSep(path, "\t", fn)
+}
+
+func eachLineSep(path, sep string, fn func(lineNo int, fields []string) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if err := fn(lineNo, strings.Split(line, sep)); err != nil {
+			return fmt.Errorf("%s:%d: %v", filepath.Base(path), lineNo, err)
+		}
+	}
+	return sc.Err()
+}

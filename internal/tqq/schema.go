@@ -1,0 +1,101 @@
+// Package tqq synthesizes t.qq-style heterogeneous information networks
+// standing in for the proprietary KDD Cup 2012 Tencent Weibo dataset the
+// paper evaluates on. The generator is calibrated to every statistic the
+// paper reports (Section 6.1): four directed user-user link types (follow,
+// mention, retweet, comment) with integer strengths, power-law out-degrees,
+// profile attribute cardinalities of roughly 3 (gender), 87 (year of
+// birth), 643 (tweet count among 1000 users) and 11 (number of tags), a
+// recommendation preference log, and planted 1000-user communities of
+// controlled Equation-4 density for use as target graphs.
+//
+// The package also provides an event-level generator (users, tweets,
+// comments as entities; post/mention/retweet/comment links among them)
+// whose hin.ProjectGraph projection reproduces the same target network
+// schema, exercising the paper's meta-path machinery end to end.
+package tqq
+
+import "github.com/hinpriv/dehin/internal/hin"
+
+// Attribute positions within the User entity type, in declaration order.
+const (
+	AttrYob = iota
+	AttrGender
+	AttrTweets
+	AttrNumTags
+)
+
+// TagsAttr names the multi-valued tag-ID attribute of users.
+const TagsAttr = "tags"
+
+// Link type names of the target network schema (paper Figure 3).
+const (
+	LinkFollow  = "follow"
+	LinkMention = "mention"
+	LinkRetweet = "retweet"
+	LinkComment = "comment"
+)
+
+// LinkNames lists the four target-schema link types in canonical order.
+var LinkNames = []string{LinkFollow, LinkMention, LinkRetweet, LinkComment}
+
+// TargetSchema returns the target network schema of the paper's Figure 3:
+// a single User entity type with yob, gender, tweet count and number-of-
+// tags scalar attributes plus the tag-ID set, connected by the follow link
+// and the three short-circuited links (mention, retweet, comment) whose
+// strengths are the short-circuited features.
+func TargetSchema() *hin.Schema {
+	return hin.MustSchema(
+		[]hin.EntityType{{
+			Name:     "User",
+			Attrs:    []string{"yob", "gender", "tweets", "numtags"},
+			SetAttrs: []string{TagsAttr},
+		}},
+		[]hin.LinkType{
+			{Name: LinkFollow, From: "User", To: "User"},
+			{Name: LinkMention, From: "User", To: "User", Weighted: true},
+			{Name: LinkRetweet, From: "User", To: "User", Weighted: true},
+			{Name: LinkComment, From: "User", To: "User", Weighted: true},
+		},
+	)
+}
+
+// EventSchema returns the full network schema of the paper's Figure 2
+// (trimmed to the entities the released dataset describes): users post
+// tweets and comments; tweets and comments mention users; tweets retweet
+// tweets; comments comment on tweets or comments.
+func EventSchema() *hin.Schema {
+	return hin.MustSchema(
+		[]hin.EntityType{
+			{
+				Name:     "User",
+				Attrs:    []string{"yob", "gender", "tweets", "numtags"},
+				SetAttrs: []string{TagsAttr},
+			},
+			{Name: "Tweet"},
+			{Name: "Comment"},
+		},
+		[]hin.LinkType{
+			{Name: "post", From: "User", To: "Tweet"},
+			{Name: "post_comment", From: "User", To: "Comment"},
+			{Name: "tweet_mention", From: "Tweet", To: "User"},
+			{Name: "comment_mention", From: "Comment", To: "User"},
+			{Name: "retweet_of", From: "Tweet", To: "Tweet"},
+			{Name: "comment_on", From: "Comment", To: "Tweet"},
+			{Name: LinkFollow, From: "User", To: "User"},
+		},
+	)
+}
+
+// TargetMetaPaths returns the paper's Section 3 target meta paths over
+// EventSchema: the user mention path (via tweets or comments), the user
+// retweet path, the user comment path, and the reproduced follow path.
+// Projecting EventSchema along these paths yields TargetSchema.
+func TargetMetaPaths() []hin.MetaPath {
+	return []hin.MetaPath{
+		{Name: LinkFollow, Steps: []hin.Step{{Link: LinkFollow}}},
+		{Name: LinkMention, Steps: []hin.Step{{Link: "post"}, {Link: "tweet_mention"}}},
+		{Name: LinkMention, Steps: []hin.Step{{Link: "post_comment"}, {Link: "comment_mention"}}},
+		{Name: LinkRetweet, Steps: []hin.Step{{Link: "post"}, {Link: "retweet_of"}, {Link: "post", Reverse: true}}},
+		{Name: LinkComment, Steps: []hin.Step{{Link: "post_comment"}, {Link: "comment_on"}, {Link: "post", Reverse: true}}},
+	}
+}
