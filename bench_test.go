@@ -16,6 +16,7 @@ import (
 
 	"github.com/hinpriv/dehin/internal/dehin"
 	"github.com/hinpriv/dehin/internal/experiments"
+	"github.com/hinpriv/dehin/internal/hin"
 	"github.com/hinpriv/dehin/internal/randx"
 	"github.com/hinpriv/dehin/internal/tqq"
 )
@@ -330,6 +331,35 @@ func BenchmarkEndToEndAttack(b *testing.B) {
 		if i == 0 {
 			b.ReportMetric(res.Precision*100, "precision_pct")
 		}
+	}
+}
+
+// BenchmarkDeanonymizeSingle measures one steady-state distance-2 query
+// against the densest released target, appending into a reused buffer.
+// allocs/op must be 0: all query working memory is pooled scratch (the
+// deterministic assertion lives in internal/dehin's
+// TestDeanonymizeSteadyStateZeroAlloc; this reports the same property under
+// -benchmem).
+func BenchmarkDeanonymizeSingle(b *testing.B) {
+	w := bench(b)
+	targets, err := w.Targets(len(w.Params.Densities) - 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tg := targets[0].Graph
+	a, err := w.Attack(dehin.Config{MaxDistance: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := tg.NumEntities()
+	var dst []hin.EntityID
+	for tv := 0; tv < n; tv++ { // warm the pooled scratch past its high-water mark
+		dst = a.DeanonymizeAppend(dst[:0], tg, hin.EntityID(tv))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = a.DeanonymizeAppend(dst[:0], tg, hin.EntityID(i%n))
 	}
 }
 

@@ -191,6 +191,62 @@ func TestDuplicateEdgesHarmless(t *testing.T) {
 	}
 }
 
+// Property: a reused Matcher agrees with the one-shot functions across a
+// stream of random graphs (stale state from a previous call must never
+// leak into the next).
+func TestMatcherReuseAgreesWithOneShot(t *testing.T) {
+	rng := randx.New(99)
+	var m Matcher
+	for i := 0; i < 500; i++ {
+		g := randomGraph(rng, 20)
+		if got, want := m.Match(g), MaxMatchingKuhn(g); got != want {
+			t.Fatalf("iteration %d: reused Matcher size %d, want %d", i, got, want)
+		}
+		if got, want := m.HasPerfectLeftMatching(g), HasPerfectLeftMatching(g); got != want {
+			t.Fatalf("iteration %d: reused perfect-matching %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestMatcherMatchLConsistent(t *testing.T) {
+	var m Matcher
+	g := graphOf(3, 4, [][2]int32{{0, 0}, {0, 1}, {1, 1}, {2, 2}, {2, 3}})
+	size := m.Match(g)
+	matchL := m.MatchL()
+	count := 0
+	for l, r := range matchL {
+		if r == NoMatch {
+			continue
+		}
+		count++
+		found := false
+		for _, rr := range g.Adj[l] {
+			if rr == r {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("MatchL pair (%d,%d) is not an edge", l, r)
+		}
+	}
+	if count != size {
+		t.Fatalf("MatchL has %d assignments, size is %d", count, size)
+	}
+}
+
+func TestMatcherSteadyStateZeroAlloc(t *testing.T) {
+	rng := randx.New(11)
+	g := randomGraph(rng, 30)
+	var m Matcher
+	m.Match(g) // warm the working arrays
+	allocs := testing.AllocsPerRun(100, func() {
+		m.Match(g)
+	})
+	if allocs != 0 {
+		t.Fatalf("Matcher.Match allocated %.1f times per call after warm-up", allocs)
+	}
+}
+
 func BenchmarkHopcroftKarpDense(b *testing.B) {
 	rng := randx.New(7)
 	const n = 500

@@ -4,10 +4,10 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
+	"sync/atomic"
 
-	"github.com/hinpriv/dehin/internal/bipartite"
 	"github.com/hinpriv/dehin/internal/hin"
 )
 
@@ -66,13 +66,16 @@ type Config struct {
 }
 
 // Attack is a DeHIN attacker bound to one auxiliary graph. It is safe for
-// concurrent use once built.
+// concurrent use once built: per-query working memory lives in pooled
+// queryScratch instances, never in the Attack itself.
 type Attack struct {
-	aux   *hin.Graph
-	cfg   Config
-	em    EntityMatcher
-	lm    LinkMatcher
-	index *profileIndex
+	aux     *hin.Graph
+	cfg     Config
+	em      EntityMatcher
+	lm      LinkMatcher
+	index   *profileIndex
+	deg     *degSignature // nil when degree pruning is disabled
+	scratch sync.Pool     // *queryScratch
 }
 
 // NewAttack prepares an attack against the given auxiliary graph.
@@ -96,6 +99,13 @@ func NewAttack(aux *hin.Graph, cfg Config) (*Attack, error) {
 	a := &Attack{aux: aux, cfg: cfg}
 	a.em = cfg.EntityMatch
 	if a.em == nil {
+		// The profile spec drives attribute reads on both graphs; validate
+		// it against the shared schema up front so a bad index surfaces
+		// here instead of as garbage reads or silently empty candidate
+		// sets at query time.
+		if err := validateProfileSpec(aux.Schema(), cfg.Profile); err != nil {
+			return nil, err
+		}
 		a.em = cfg.Profile.GrowthMatcher()
 	}
 	a.lm = cfg.LinkMatch
@@ -114,6 +124,15 @@ func NewAttack(aux *hin.Graph, cfg Config) (*Attack, error) {
 			return nil, err
 		}
 		a.index = idx
+	}
+	// Degree-signature pruning is sound whenever the per-type quota
+	// directionMatch enforces is the plain neighbor count (see the
+	// degSignature soundness note); conservatively gate it off for
+	// re-configured (majority-strength-removed) attacks and custom
+	// matchers so the pruned engine provably matches reference semantics.
+	if cfg.MaxDistance > 0 && !cfg.RemoveMajorityStrength &&
+		cfg.EntityMatch == nil && cfg.LinkMatch == nil {
+		a.deg = buildDegSignature(aux, cfg.LinkTypes, cfg.UseInEdges)
 	}
 	return a, nil
 }
@@ -146,51 +165,125 @@ func (a *Attack) PrepareTarget(target *hin.Graph) (*hin.Graph, error) {
 	return RemoveMajorityStrengthEdges(target)
 }
 
+func (a *Attack) getScratch() *queryScratch {
+	if s, ok := a.scratch.Get().(*queryScratch); ok {
+		return s
+	}
+	return &queryScratch{}
+}
+
+func (a *Attack) putScratch(s *queryScratch) { a.scratch.Put(s) }
+
 // Deanonymize runs Algorithm 1 for one target entity against the prepared
 // target graph, returning the candidate set of auxiliary entities. The
 // caller is responsible for having applied PrepareTarget.
 func (a *Attack) Deanonymize(target *hin.Graph, tv hin.EntityID) []hin.EntityID {
-	profile := a.profileCandidates(target, tv)
-	if a.cfg.MaxDistance == 0 || len(profile) == 0 {
-		return profile
+	return a.DeanonymizeAppend(nil, target, tv)
+}
+
+// DeanonymizeAppend is Deanonymize appending into dst (which may be nil),
+// returning the extended slice. Reusing dst across queries makes a
+// steady-state query allocation-free: all internal working memory is
+// pooled and the result lands in the caller's buffer.
+func (a *Attack) DeanonymizeAppend(dst []hin.EntityID, target *hin.Graph, tv hin.EntityID) []hin.EntityID {
+	s := a.getScratch()
+	dst = a.deanonymize(s, dst, target, tv)
+	a.putScratch(s)
+	return dst
+}
+
+// ensureMemo (re)binds the scratch's memo table to the given prepared
+// target graph. Memoized results - linkMatch verdicts at depths >= 1 and
+// entity-matcher verdicts at depth 0 - are pure functions of (target
+// graph, auxiliary graph, config), so they stay valid for the lifetime of
+// the (attack, target graph) pair: the table resets only when the scratch
+// sees a different graph. This is what lets a whole Run (500 queries
+// against one release) amortize the depth-1 neighborhood recursion that
+// different targets share.
+func (a *Attack) ensureMemo(s *queryScratch, target *hin.Graph) {
+	if s.memoTarget == target {
+		return
 	}
-	memo := make(map[memoKey]bool)
-	out := make([]hin.EntityID, 0, 4)
+	s.memo.reset(memoPackable(target, a.aux, a.cfg.MaxDistance))
+	s.memoTarget = target
+}
+
+// emCached is the entity matcher memoized per (target entity, auxiliary
+// entity) as depth-0 entries of the query memo. The matcher compares
+// attribute tuples (several Graph.Attr reads per call) and the same
+// neighbor pair is re-examined once per link type, direction, and parent
+// pair, so a table probe is substantially cheaper than re-evaluating it.
+func (a *Attack) emCached(s *queryScratch, target *hin.Graph, tb, ab hin.EntityID) bool {
+	if r, ok := s.memo.get(tb, ab, 0); ok {
+		return r
+	}
+	r := a.em(target, a.aux, tb, ab)
+	s.memo.put(tb, ab, 0, r)
+	return r
+}
+
+func (a *Attack) deanonymize(s *queryScratch, dst []hin.EntityID, target *hin.Graph, tv hin.EntityID) []hin.EntityID {
+	profile := a.profileCandidates(s, target, tv)
+	if a.cfg.MaxDistance == 0 || len(profile) == 0 {
+		return append(dst, profile...)
+	}
+	a.ensureMemo(s, target)
+	prune := a.deg != nil
+	if prune {
+		a.computeNeeds(s, target, tv)
+	}
+	base := len(dst)
 	for _, av := range profile {
-		if a.linkMatch(target, a.cfg.MaxDistance, tv, av, memo) {
-			out = append(out, av)
+		// A candidate the degree signature rejects is one Algorithm 2
+		// would reject; skipping it here keeps FallbackProfileOnly
+		// semantics identical (it still counts as a neighbor-stage
+		// elimination, not a profile-stage one).
+		if prune && !a.deg.admits(s.needs, av) {
+			continue
+		}
+		if a.linkMatch(s, target, a.cfg.MaxDistance, tv, av) {
+			dst = append(dst, av)
 		}
 	}
-	if len(out) == 0 && a.cfg.FallbackProfileOnly {
-		return profile
+	if len(dst) == base && a.cfg.FallbackProfileOnly {
+		return append(dst, profile...)
 	}
-	return out
+	return dst
 }
 
 // profileCandidates implements the entity_attribute_match stage of
-// Algorithm 1, via the index when available.
-func (a *Attack) profileCandidates(target *hin.Graph, tv hin.EntityID) []hin.EntityID {
-	var out []hin.EntityID
+// Algorithm 1, via the index when available. The result lives in s.cand
+// and is valid until the scratch's next query.
+func (a *Attack) profileCandidates(s *queryScratch, target *hin.Graph, tv hin.EntityID) []hin.EntityID {
+	out := s.cand[:0]
 	if a.index != nil {
 		for _, av := range a.index.lookup(target, tv) {
 			if a.em(target, a.aux, tv, av) {
 				out = append(out, av)
 			}
 		}
-		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-		return out
-	}
-	for av := 0; av < a.aux.NumEntities(); av++ {
-		if a.em(target, a.aux, tv, hin.EntityID(av)) {
-			out = append(out, hin.EntityID(av))
+		slices.Sort(out)
+	} else {
+		for av := 0; av < a.aux.NumEntities(); av++ {
+			if a.em(target, a.aux, tv, hin.EntityID(av)) {
+				out = append(out, hin.EntityID(av))
+			}
 		}
 	}
+	s.cand = out
 	return out
 }
 
-type memoKey struct {
-	tv, av hin.EntityID
-	depth  int32
+// quota returns how many of deg target neighbors must find distinct
+// matches under the configured tolerance.
+func (a *Attack) quota(deg int) int {
+	if a.cfg.NeighborTolerance <= 0 {
+		return deg
+	}
+	// Round the allowance up so small neighborhoods get at least one
+	// forgivable edge - a 10-edge neighborhood at 7% tolerance must
+	// still tolerate a single fake.
+	return deg - int(math.Ceil(a.cfg.NeighborTolerance*float64(deg)))
 }
 
 // linkMatch is Algorithm 2: do the typed neighborhoods of target entity tv
@@ -203,30 +296,32 @@ type memoKey struct {
 // evident intent - and what makes distance-n meaningful - is to recurse on
 // the neighbor pair (b'_i, b_i), which is what this does. Results are
 // memoized per (target, candidate, depth) across the whole query.
-func (a *Attack) linkMatch(target *hin.Graph, n int, tv, av hin.EntityID, memo map[memoKey]bool) bool {
-	key := memoKey{tv, av, int32(n)}
-	if r, ok := memo[key]; ok {
+func (a *Attack) linkMatch(s *queryScratch, target *hin.Graph, n int, tv, av hin.EntityID) bool {
+	if r, ok := s.memo.get(tv, av, n); ok {
 		return r
 	}
-	res := a.linkMatchUncached(target, n, tv, av, memo)
-	memo[key] = res
+	res := a.linkMatchUncached(s, target, n, tv, av)
+	s.memo.put(tv, av, n, res)
 	return res
 }
 
-func (a *Attack) linkMatchUncached(target *hin.Graph, n int, tv, av hin.EntityID, memo map[memoKey]bool) bool {
+func (a *Attack) linkMatchUncached(s *queryScratch, target *hin.Graph, n int, tv, av hin.EntityID) bool {
 	for _, lt := range a.cfg.LinkTypes {
-		if !a.directionMatch(target, n, tv, av, lt, false, memo) {
+		if !a.directionMatch(s, target, n, tv, av, lt, false) {
 			return false
 		}
-		if a.cfg.UseInEdges && !a.directionMatch(target, n, tv, av, lt, true, memo) {
+		if a.cfg.UseInEdges && !a.directionMatch(s, target, n, tv, av, lt, true) {
 			return false
 		}
 	}
 	return true
 }
 
-// directionMatch checks one link type in one direction.
-func (a *Attack) directionMatch(target *hin.Graph, n int, tv, av hin.EntityID, lt hin.LinkTypeID, inEdges bool, memo map[memoKey]bool) bool {
+// directionMatch checks one link type in one direction, building the
+// bipartite compatibility graph into the scratch frame of this recursion
+// depth (deeper linkMatch calls use deeper frames, so the build never
+// clobbers an in-progress one).
+func (a *Attack) directionMatch(s *queryScratch, target *hin.Graph, n int, tv, av hin.EntityID, lt hin.LinkTypeID, inEdges bool) bool {
 	var tns []hin.EntityID
 	var tws []int32
 	var ans []hin.EntityID
@@ -238,13 +333,7 @@ func (a *Attack) directionMatch(target *hin.Graph, n int, tv, av hin.EntityID, l
 		tns, tws = target.OutEdges(lt, tv)
 		ans, aws = a.aux.OutEdges(lt, av)
 	}
-	need := len(tns)
-	if a.cfg.NeighborTolerance > 0 {
-		// Round the allowance up so small neighborhoods get at least one
-		// forgivable edge - a 10-edge neighborhood at 7% tolerance must
-		// still tolerate a single fake.
-		need = len(tns) - int(math.Ceil(a.cfg.NeighborTolerance*float64(len(tns))))
-	}
+	need := a.quota(len(tns))
 	if need <= 0 || len(tns) == 0 {
 		return true
 	}
@@ -252,34 +341,36 @@ func (a *Attack) directionMatch(target *hin.Graph, n int, tv, av hin.EntityID, l
 		// Even a maximum matching cannot reach the quota.
 		return false
 	}
-	adj := make([][]int32, len(tns))
+	f := s.frame(n)
+	f.reset()
 	empties := 0
 	for i, tb := range tns {
+		row := len(f.dat)
 		for j, ab := range ans {
 			if !a.lm(tws[i], aws[j]) {
 				continue
 			}
-			if !a.em(target, a.aux, tb, ab) {
+			if !a.emCached(s, target, tb, ab) {
 				continue
 			}
-			if n > 1 && !a.linkMatch(target, n-1, tb, ab, memo) {
+			if n > 1 && !a.linkMatch(s, target, n-1, tb, ab) {
 				continue
 			}
-			adj[i] = append(adj[i], int32(j))
+			f.dat = append(f.dat, int32(j))
 		}
-		if len(adj[i]) == 0 {
+		if len(f.dat) == row {
 			empties++
 			if len(tns)-empties < need {
 				return false
 			}
 		}
+		f.closeRow()
 	}
-	g := bipartite.Graph{NLeft: len(tns), NRight: len(ans), Adj: adj}
+	g := f.graph(len(ans))
 	if need == len(tns) {
-		return bipartite.HasPerfectLeftMatching(g)
+		return s.matcher.HasPerfectLeftMatching(g)
 	}
-	_, _, size := bipartite.HopcroftKarp(g)
-	return size >= need
+	return s.matcher.Match(g) >= need
 }
 
 // RemoveMajorityStrengthEdges returns a copy of g without, per link type,
@@ -344,6 +435,12 @@ type Result struct {
 // truth[i] names the auxiliary entity actually behind target entity i and
 // is used only for scoring. PrepareTarget preprocessing is applied
 // automatically.
+//
+// Work is distributed by chunked work stealing over targets ordered by
+// descending utilized degree: expensive hub entities are handed out first
+// and a worker stuck on one cannot strand queued work behind it, so the
+// tail of a Run stays balanced. A zero-entity target yields zero metrics
+// (not NaN) and no error.
 func (a *Attack) Run(target *hin.Graph, truth []hin.EntityID) (Result, error) {
 	if len(truth) != target.NumEntities() {
 		return Result{}, fmt.Errorf("dehin: truth size %d != %d targets", len(truth), target.NumEntities())
@@ -354,6 +451,9 @@ func (a *Attack) Run(target *hin.Graph, truth []hin.EntityID) (Result, error) {
 	}
 	n := prepared.NumEntities()
 	out := Result{PerTarget: make([]TargetOutcome, n)}
+	if n == 0 {
+		return out, nil
+	}
 	workers := a.cfg.Parallelism
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -361,30 +461,39 @@ func (a *Attack) Run(target *hin.Graph, truth []hin.EntityID) (Result, error) {
 	if workers > n {
 		workers = n
 	}
-	if workers < 1 {
-		workers = 1
-	}
+
+	order := a.runOrder(prepared)
+	// Small chunks amortize the atomic fetch without re-creating the
+	// convoy a static partition (or one target per channel send) causes
+	// when a single hub query dominates.
+	chunk := max(1, min(64, n/(workers*8)))
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for tv := range next {
-				c := a.Deanonymize(prepared, hin.EntityID(tv))
-				o := TargetOutcome{Candidates: len(c)}
-				if len(c) == 1 {
-					o.Unique = true
-					o.Correct = c[0] == truth[tv]
+			s := a.getScratch()
+			defer a.putScratch(s)
+			var buf []hin.EntityID
+			for {
+				start := int(next.Add(int64(chunk))) - chunk
+				if start >= n {
+					return
 				}
-				out.PerTarget[tv] = o
+				for _, tv32 := range order[start:min(start+chunk, n)] {
+					tv := hin.EntityID(tv32)
+					buf = a.deanonymize(s, buf[:0], prepared, tv)
+					o := TargetOutcome{Candidates: len(buf)}
+					if len(buf) == 1 {
+						o.Unique = true
+						o.Correct = buf[0] == truth[tv]
+					}
+					out.PerTarget[tv] = o
+				}
 			}
 		}()
 	}
-	for tv := 0; tv < n; tv++ {
-		next <- tv
-	}
-	close(next)
 	wg.Wait()
 
 	auxN := float64(a.aux.NumEntities())
@@ -393,9 +502,45 @@ func (a *Attack) Run(target *hin.Graph, truth []hin.EntityID) (Result, error) {
 		if o.Correct {
 			correct++
 		}
-		reduction += 1 - float64(o.Candidates)/auxN
+		if auxN > 0 {
+			reduction += 1 - float64(o.Candidates)/auxN
+		}
 	}
 	out.Precision = float64(correct) / float64(n)
 	out.ReductionRate = reduction / float64(n)
 	return out, nil
+}
+
+// runOrder returns the target entities sorted by descending total utilized
+// degree (ties by ascending id, keeping the order deterministic).
+func (a *Attack) runOrder(prepared *hin.Graph) []int32 {
+	n := prepared.NumEntities()
+	total := make([]int64, n)
+	var deg []int32
+	for _, lt := range a.cfg.LinkTypes {
+		deg = prepared.OutDegrees(lt, deg[:0])
+		for v, d := range deg {
+			total[v] += int64(d)
+		}
+		if a.cfg.UseInEdges {
+			deg = prepared.InDegrees(lt, deg[:0])
+			for v, d := range deg {
+				total[v] += int64(d)
+			}
+		}
+	}
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	slices.SortFunc(order, func(x, y int32) int {
+		if total[x] != total[y] {
+			if total[x] > total[y] {
+				return -1
+			}
+			return 1
+		}
+		return int(x) - int(y)
+	})
+	return order
 }

@@ -1,0 +1,372 @@
+package dehin
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"github.com/hinpriv/dehin/internal/anonymize"
+	"github.com/hinpriv/dehin/internal/bipartite"
+	"github.com/hinpriv/dehin/internal/hin"
+	"github.com/hinpriv/dehin/internal/randx"
+	"github.com/hinpriv/dehin/internal/tqq"
+)
+
+// refDeanonymize is an independently kept copy of the seed implementation
+// of Algorithm 1/2 (fresh map memo, fresh slice allocations, full
+// auxiliary scan, package-level Hopcroft-Karp, no degree pruning). The
+// differential tests assert the scratch-reusing, signature-pruning engine
+// returns identical candidate sets.
+func refDeanonymize(a *Attack, target *hin.Graph, tv hin.EntityID) []hin.EntityID {
+	var profile []hin.EntityID
+	for av := 0; av < a.aux.NumEntities(); av++ {
+		if a.em(target, a.aux, tv, hin.EntityID(av)) {
+			profile = append(profile, hin.EntityID(av))
+		}
+	}
+	if a.cfg.MaxDistance == 0 || len(profile) == 0 {
+		return profile
+	}
+	memo := make(map[memoKey]bool)
+	out := make([]hin.EntityID, 0, 4)
+	for _, av := range profile {
+		if refLinkMatch(a, target, a.cfg.MaxDistance, tv, av, memo) {
+			out = append(out, av)
+		}
+	}
+	if len(out) == 0 && a.cfg.FallbackProfileOnly {
+		return profile
+	}
+	return out
+}
+
+func refLinkMatch(a *Attack, target *hin.Graph, n int, tv, av hin.EntityID, memo map[memoKey]bool) bool {
+	key := memoKey{tv, av, int32(n)}
+	if r, ok := memo[key]; ok {
+		return r
+	}
+	res := true
+	for _, lt := range a.cfg.LinkTypes {
+		if !refDirectionMatch(a, target, n, tv, av, lt, false, memo) {
+			res = false
+			break
+		}
+		if a.cfg.UseInEdges && !refDirectionMatch(a, target, n, tv, av, lt, true, memo) {
+			res = false
+			break
+		}
+	}
+	memo[key] = res
+	return res
+}
+
+func refDirectionMatch(a *Attack, target *hin.Graph, n int, tv, av hin.EntityID, lt hin.LinkTypeID, inEdges bool, memo map[memoKey]bool) bool {
+	var tns []hin.EntityID
+	var tws []int32
+	var ans []hin.EntityID
+	var aws []int32
+	if inEdges {
+		tns, tws = target.InEdges(lt, tv)
+		ans, aws = a.aux.InEdges(lt, av)
+	} else {
+		tns, tws = target.OutEdges(lt, tv)
+		ans, aws = a.aux.OutEdges(lt, av)
+	}
+	need := len(tns)
+	if a.cfg.NeighborTolerance > 0 {
+		need = len(tns) - int(math.Ceil(a.cfg.NeighborTolerance*float64(len(tns))))
+	}
+	if need <= 0 || len(tns) == 0 {
+		return true
+	}
+	if need > len(ans) {
+		return false
+	}
+	adj := make([][]int32, len(tns))
+	empties := 0
+	for i, tb := range tns {
+		for j, ab := range ans {
+			if !a.lm(tws[i], aws[j]) {
+				continue
+			}
+			if !a.em(target, a.aux, tb, ab) {
+				continue
+			}
+			if n > 1 && !refLinkMatch(a, target, n-1, tb, ab, memo) {
+				continue
+			}
+			adj[i] = append(adj[i], int32(j))
+		}
+		if len(adj[i]) == 0 {
+			empties++
+			if len(tns)-empties < need {
+				return false
+			}
+		}
+	}
+	g := bipartite.Graph{NLeft: len(tns), NRight: len(ans), Adj: adj}
+	if need == len(tns) {
+		return bipartite.HasPerfectLeftMatching(g)
+	}
+	_, _, size := bipartite.HopcroftKarp(g)
+	return size >= need
+}
+
+// TestDifferentialEngineMatchesSeed sweeps every engine-relevant flag
+// combination over randomized anonymized communities and asserts the
+// query engine (degree pruning + scratch reuse + packed index) returns
+// candidate sets identical to the seed reference implementation.
+func TestDifferentialEngineMatchesSeed(t *testing.T) {
+	for _, seed := range []uint64{17, 91} {
+		cfgGen := tqq.DefaultConfig(900, seed)
+		cfgGen.Communities = []tqq.CommunitySpec{{Size: 120, Density: 0.01}}
+		d, err := tqq.Generate(cfgGen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tgt, err := tqq.CommunityTarget(d, 0, randx.New(seed+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		anon, err := anonymize.RandomizeIDs(tgt.Graph, seed+2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shared, err := NewIndex(d.Graph, TQQProfile())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, useIn := range []bool{false, true} {
+			for _, tol := range []float64{0, 0.3} {
+				for _, fb := range []bool{false, true} {
+					for _, rm := range []bool{false, true} {
+						for _, sharedIdx := range []bool{false, true} {
+							cfg := Config{
+								MaxDistance:            2,
+								Profile:                TQQProfile(),
+								UseInEdges:             useIn,
+								NeighborTolerance:      tol,
+								FallbackProfileOnly:    fb,
+								RemoveMajorityStrength: rm,
+							}
+							if sharedIdx {
+								cfg.SharedIndex = shared
+							} else {
+								cfg.UseIndex = true
+							}
+							name := fmt.Sprintf("seed=%d in=%v tol=%g fb=%v rm=%v shared=%v",
+								seed, useIn, tol, fb, rm, sharedIdx)
+							a, err := NewAttack(d.Graph, cfg)
+							if err != nil {
+								t.Fatal(err)
+							}
+							prepared, err := a.PrepareTarget(anon.Graph)
+							if err != nil {
+								t.Fatal(err)
+							}
+							for tv := 0; tv < 40; tv++ {
+								got := a.Deanonymize(prepared, hin.EntityID(tv))
+								want := refDeanonymize(a, prepared, hin.EntityID(tv))
+								if len(got) != len(want) {
+									t.Fatalf("%s target %d: engine %v, reference %v", name, tv, got, want)
+								}
+								for i := range got {
+									if got[i] != want[i] {
+										t.Fatalf("%s target %d: engine %v, reference %v", name, tv, got, want)
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRunWorkStealingConcurrent stresses the chunked work-stealing Run
+// under many workers and the full flag surface; with -race it doubles as
+// the data-race check for scratch pooling and result writes.
+func TestRunWorkStealingConcurrent(t *testing.T) {
+	cfgGen := tqq.DefaultConfig(1200, 33)
+	cfgGen.Communities = []tqq.CommunitySpec{{Size: 150, Density: 0.01}}
+	d, err := tqq.Generate(cfgGen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, err := tqq.CommunityTarget(d, 0, randx.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{MaxDistance: 2, UseInEdges: true, NeighborTolerance: 0.2, Profile: TQQProfile(), UseIndex: true}
+	serial := base
+	serial.Parallelism = 1
+	a1, err := NewAttack(d.Graph, serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide := base
+	wide.Parallelism = 8
+	a8, err := NewAttack(d.Graph, wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := a1.Run(tgt.Graph, tgt.Orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := a8.Run(tgt.Graph, tgt.Orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Precision != r8.Precision || r1.ReductionRate != r8.ReductionRate {
+		t.Fatalf("work stealing changed results: %v/%v vs %v/%v",
+			r1.Precision, r1.ReductionRate, r8.Precision, r8.ReductionRate)
+	}
+	for i := range r1.PerTarget {
+		if r1.PerTarget[i] != r8.PerTarget[i] {
+			t.Fatalf("per-target outcome %d differs across worker counts", i)
+		}
+	}
+}
+
+// TestRunEmptyTarget is the NaN regression test: a zero-entity target must
+// produce zero metrics, not 0/0.
+func TestRunEmptyTarget(t *testing.T) {
+	aux := buildAux(t)
+	a := newTQQAttack(t, aux, Config{MaxDistance: 1})
+	empty, err := hin.NewBuilder(tqq.TargetSchema()).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Run(empty, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(res.Precision) || math.IsNaN(res.ReductionRate) {
+		t.Fatalf("empty target produced NaN: %+v", res)
+	}
+	if res.Precision != 0 || res.ReductionRate != 0 || len(res.PerTarget) != 0 {
+		t.Fatalf("empty target result = %+v, want zeros", res)
+	}
+}
+
+// TestDeanonymizeSteadyStateZeroAlloc drives the internal engine with a
+// pinned scratch (bypassing the pool, whose GC interaction would make the
+// count nondeterministic) and asserts a warmed query allocates nothing.
+func TestDeanonymizeSteadyStateZeroAlloc(t *testing.T) {
+	cfgGen := tqq.DefaultConfig(2000, 29)
+	cfgGen.Communities = []tqq.CommunitySpec{{Size: 200, Density: 0.01}}
+	d, err := tqq.Generate(cfgGen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, err := tqq.CommunityTarget(d, 0, randx.New(19))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []Config{
+		{MaxDistance: 2, Profile: TQQProfile(), UseIndex: true},
+		{MaxDistance: 2, Profile: TQQProfile(), UseIndex: true, UseInEdges: true, NeighborTolerance: 0.25},
+	} {
+		a, err := NewAttack(d.Graph, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := &queryScratch{}
+		var dst []hin.EntityID
+		n := tgt.Graph.NumEntities()
+		for tv := 0; tv < n; tv++ { // warm every buffer past its high-water mark
+			dst = a.deanonymize(s, dst[:0], tgt.Graph, hin.EntityID(tv))
+		}
+		allocs := testing.AllocsPerRun(20, func() {
+			for tv := 0; tv < 25; tv++ {
+				dst = a.deanonymize(s, dst[:0], tgt.Graph, hin.EntityID(tv))
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("cfg %+v: steady-state query allocated %.1f times per 25-query batch", cfg, allocs)
+		}
+	}
+}
+
+// TestDegreePruningDisabledForExoticConfigs pins the soundness gate: the
+// signature must not be built when majority-strength removal or custom
+// matchers are configured, and must be built for the plain growth attack.
+func TestDegreePruningGate(t *testing.T) {
+	aux := buildAux(t)
+	plain := newTQQAttack(t, aux, Config{MaxDistance: 1})
+	if plain.deg == nil {
+		t.Fatal("degree signature missing on the plain growth attack")
+	}
+	if plain.deg.in != nil {
+		t.Fatal("in-degree signature built without UseInEdges")
+	}
+	both := newTQQAttack(t, aux, Config{MaxDistance: 1, UseInEdges: true})
+	if both.deg == nil || both.deg.in == nil {
+		t.Fatal("in-degree signature missing with UseInEdges")
+	}
+	for name, cfg := range map[string]Config{
+		"distance 0":      {MaxDistance: 0},
+		"remove majority": {MaxDistance: 1, RemoveMajorityStrength: true},
+		"custom link":     {MaxDistance: 1, LinkMatch: ExactLinkMatcher},
+		"custom entity":   {MaxDistance: 1, EntityMatch: TQQProfile().ExactMatcher()},
+	} {
+		a := newTQQAttack(t, aux, cfg)
+		if a.deg != nil {
+			t.Errorf("%s: degree signature built despite the soundness gate", name)
+		}
+	}
+}
+
+// TestProfileSpecValidation covers the NewAttack/NewIndex-time validation
+// that replaced lookup's silent empty candidate set.
+func TestProfileSpecValidation(t *testing.T) {
+	aux := buildAux(t)
+	if _, err := NewIndex(aux, ProfileSpec{ExactAttrs: []int{9}}); err == nil {
+		t.Fatal("NewIndex accepted an out-of-range exact attr")
+	}
+	if _, err := NewIndex(aux, ProfileSpec{GrowAttrs: []int{-1}}); err == nil {
+		t.Fatal("NewIndex accepted a negative grow attr")
+	}
+	// Even without an index, a profile-derived matcher would read out of
+	// range; NewAttack must reject it up front.
+	if _, err := NewAttack(aux, Config{Profile: ProfileSpec{GrowAttrs: []int{12}}}); err == nil {
+		t.Fatal("NewAttack accepted an out-of-range profile attr without an index")
+	}
+	// A custom entity matcher does not consult the profile spec, so a
+	// stale spec next to it stays legal.
+	any := func(tg, ag *hin.Graph, tv, av hin.EntityID) bool { return true }
+	if _, err := NewAttack(aux, Config{EntityMatch: any, Profile: ProfileSpec{ExactAttrs: []int{42}}}); err != nil {
+		t.Fatalf("custom-matcher attack rejected: %v", err)
+	}
+}
+
+// TestMemoTablePackedVsMap drives the open-addressing memo through
+// collisions, growth, and generation resets, cross-checking every answer
+// against a plain map.
+func TestMemoTablePackedVsMap(t *testing.T) {
+	var mt memoTable
+	rng := randx.New(7)
+	for gen := 0; gen < 5; gen++ {
+		mt.reset(true)
+		ref := map[memoKey]bool{}
+		for i := 0; i < 3000; i++ {
+			tv := hin.EntityID(rng.Intn(200))
+			av := hin.EntityID(rng.Intn(200))
+			depth := rng.Intn(4) + 1
+			k := memoKey{tv, av, int32(depth)}
+			if rng.Bool(0.5) {
+				v := rng.Bool(0.5)
+				mt.put(tv, av, depth, v)
+				ref[k] = v
+			} else {
+				got, ok := mt.get(tv, av, depth)
+				want, wantOK := ref[k]
+				if got != want || ok != wantOK {
+					t.Fatalf("gen %d op %d: memo (%v,%v) != map (%v,%v)", gen, i, got, ok, want, wantOK)
+				}
+			}
+		}
+	}
+}

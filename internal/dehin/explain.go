@@ -42,7 +42,9 @@ type MatchExplanation struct {
 // explanation shows exactly which neighbor slots could not be filled.
 func (a *Attack) ExplainMatch(target *hin.Graph, tv, av hin.EntityID) *MatchExplanation {
 	ex := &MatchExplanation{Target: tv, Candidate: av, Complete: true}
-	memo := make(map[memoKey]bool)
+	s := a.getScratch()
+	defer a.putScratch(s)
+	a.ensureMemo(s, target)
 	for _, lt := range a.cfg.LinkTypes {
 		tns, tws := target.OutEdges(lt, tv)
 		ans, aws := a.aux.OutEdges(lt, av)
@@ -58,7 +60,7 @@ func (a *Attack) ExplainMatch(target *hin.Graph, tv, av hin.EntityID) *MatchExpl
 				if !a.em(target, a.aux, tb, ab) {
 					continue
 				}
-				if a.cfg.MaxDistance > 1 && !a.linkMatch(target, a.cfg.MaxDistance-1, tb, ab, memo) {
+				if a.cfg.MaxDistance > 1 && !a.linkMatch(s, target, a.cfg.MaxDistance-1, tb, ab) {
 					continue
 				}
 				adj[i] = append(adj[i], int32(j))

@@ -2,6 +2,7 @@ package dehin
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"github.com/hinpriv/dehin/internal/hin"
@@ -13,42 +14,121 @@ import (
 // "auxiliary >= target" on that attribute. With the t.qq profile this is a
 // (yob, gender) index ordered by tweet count - it turns Algorithm 1's scan
 // over millions of auxiliary users into a few hundred comparisons.
+//
+// With at most two exact attributes whose values all fit in int32 (the
+// t.qq case: yob and gender), the bucket key is the two values packed into
+// one uint64, so a lookup is a single integer map probe with no per-call
+// string allocation. Wider or overflowing tuples fall back to the byte-
+// string encoding.
 type profileIndex struct {
 	aux     *hin.Graph
 	spec    ProfileSpec
-	buckets map[string][]hin.EntityID // each sorted desc by primary grow attr
-	primary int                       // attr index used for ordering, -1 if none
+	primary int // attr index used for ordering, -1 if none
+
+	packed   bool
+	bucketsP map[uint64][]hin.EntityID // packed-key buckets (packed == true)
+	buckets  map[string][]hin.EntityID // string-key buckets (packed == false)
 }
 
 func buildProfileIndex(aux *hin.Graph, spec ProfileSpec) (*profileIndex, error) {
+	return buildProfileIndexOpt(aux, spec, false)
+}
+
+// buildProfileIndexOpt exists so tests and benchmarks can force the
+// string-key fallback on a spec the packed path would normally take.
+func buildProfileIndexOpt(aux *hin.Graph, spec ProfileSpec, forceString bool) (*profileIndex, error) {
+	if err := validateProfileSpec(aux.Schema(), spec); err != nil {
+		return nil, err
+	}
 	idx := &profileIndex{
 		aux:     aux,
 		spec:    spec,
-		buckets: make(map[string][]hin.EntityID),
 		primary: -1,
 	}
 	if len(spec.GrowAttrs) > 0 {
 		idx.primary = spec.GrowAttrs[0]
 	}
-	for v := 0; v < aux.NumEntities(); v++ {
-		key, err := profileKey(aux, hin.EntityID(v), spec.ExactAttrs)
-		if err != nil {
-			return nil, err
+	if !forceString && len(spec.ExactAttrs) <= 2 {
+		idx.packed = true
+		idx.bucketsP = make(map[uint64][]hin.EntityID)
+		for v := 0; v < aux.NumEntities(); v++ {
+			key, ok := packedProfileKey(aux, hin.EntityID(v), spec.ExactAttrs)
+			if !ok { // an attribute value outside int32: fall back wholesale
+				idx.packed = false
+				idx.bucketsP = nil
+				break
+			}
+			idx.bucketsP[key] = append(idx.bucketsP[key], hin.EntityID(v))
 		}
-		idx.buckets[key] = append(idx.buckets[key], hin.EntityID(v))
+	}
+	if !idx.packed {
+		idx.buckets = make(map[string][]hin.EntityID)
+		for v := 0; v < aux.NumEntities(); v++ {
+			key, err := profileKey(aux, hin.EntityID(v), spec.ExactAttrs)
+			if err != nil {
+				return nil, err
+			}
+			idx.buckets[key] = append(idx.buckets[key], hin.EntityID(v))
+		}
 	}
 	if idx.primary >= 0 {
-		for _, b := range idx.buckets {
+		sortBucket := func(b []hin.EntityID) {
 			sort.Slice(b, func(i, j int) bool {
 				return aux.Attr(b[i], idx.primary) > aux.Attr(b[j], idx.primary)
 			})
+		}
+		for _, b := range idx.bucketsP {
+			sortBucket(b)
+		}
+		for _, b := range idx.buckets {
+			sortBucket(b)
 		}
 	}
 	return idx, nil
 }
 
-// profileKey encodes the exact-match attribute tuple of v. An empty
-// ExactAttrs list maps every entity to one bucket.
+// validateProfileSpec checks every scalar attribute index the spec names
+// against every entity type of the schema, so misconfigured indexes fail
+// at NewAttack/NewIndex time instead of producing silently empty candidate
+// sets (or out-of-range attribute reads) per query.
+func validateProfileSpec(s *hin.Schema, spec ProfileSpec) error {
+	check := func(role string, attrs []int) error {
+		for _, ai := range attrs {
+			for t := 0; t < s.NumEntityTypes(); t++ {
+				et := s.EntityType(hin.EntityTypeID(t))
+				if ai < 0 || ai >= len(et.Attrs) {
+					return fmt.Errorf("dehin: profile %s attr %d out of range for entity type %q (%d attrs)",
+						role, ai, et.Name, len(et.Attrs))
+				}
+			}
+		}
+		return nil
+	}
+	if err := check("exact", spec.ExactAttrs); err != nil {
+		return err
+	}
+	return check("grow", spec.GrowAttrs)
+}
+
+// packedProfileKey encodes up to two exact-match attribute values of v in
+// one uint64 (each truncation-checked into 32 bits). The second result is
+// false when a value does not fit - the caller falls back to string keys
+// (index build) or reports no bucket (lookup: if every auxiliary value
+// fits and the target's does not, no auxiliary entity can equal it).
+func packedProfileKey(g *hin.Graph, v hin.EntityID, exact []int) (uint64, bool) {
+	var key uint64
+	for _, ai := range exact {
+		x := g.Attr(v, ai)
+		if x < math.MinInt32 || x > math.MaxInt32 {
+			return 0, false
+		}
+		key = key<<32 | uint64(uint32(int32(x)))
+	}
+	return key, true
+}
+
+// profileKey encodes the exact-match attribute tuple of v as a byte
+// string. An empty ExactAttrs list maps every entity to one bucket.
 func profileKey(g *hin.Graph, v hin.EntityID, exact []int) (string, error) {
 	var b []byte
 	for _, ai := range exact {
@@ -68,11 +148,25 @@ func profileKey(g *hin.Graph, v hin.EntityID, exact []int) (string, error) {
 // target's and whose primary growable attribute is >= the target's. The
 // caller still applies the full entity matcher to each.
 func (idx *profileIndex) lookup(target *hin.Graph, tv hin.EntityID) []hin.EntityID {
-	key, err := profileKey(target, tv, idx.spec.ExactAttrs)
-	if err != nil {
-		return nil
+	var bucket []hin.EntityID
+	if idx.packed {
+		key, ok := packedProfileKey(target, tv, idx.spec.ExactAttrs)
+		if !ok {
+			// Every auxiliary value fit in 32 bits (or the index would have
+			// fallen back to strings), so an overflowing target value
+			// matches no auxiliary entity.
+			return nil
+		}
+		bucket = idx.bucketsP[key]
+	} else {
+		key, err := profileKey(target, tv, idx.spec.ExactAttrs)
+		if err != nil {
+			// Unreachable for targets conforming to the schema the spec was
+			// validated against at build time.
+			return nil
+		}
+		bucket = idx.buckets[key]
 	}
-	bucket := idx.buckets[key]
 	if idx.primary < 0 {
 		return bucket
 	}

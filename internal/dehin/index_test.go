@@ -1,0 +1,131 @@
+package dehin
+
+import (
+	"testing"
+
+	"github.com/hinpriv/dehin/internal/hin"
+	"github.com/hinpriv/dehin/internal/randx"
+	"github.com/hinpriv/dehin/internal/tqq"
+)
+
+func buildIndexFixture(tb testing.TB, users int) (*tqq.Dataset, *tqq.Target) {
+	tb.Helper()
+	cfg := tqq.DefaultConfig(users, 51)
+	cfg.Communities = []tqq.CommunitySpec{{Size: max(40, users/20), Density: 0.01}}
+	d, err := tqq.Generate(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tgt, err := tqq.CommunityTarget(d, 0, randx.New(13))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return d, tgt
+}
+
+// TestPackedAndStringIndexAgree verifies the packed-uint64 key path and the
+// byte-string fallback produce identical buckets and lookups over the same
+// graph and spec.
+func TestPackedAndStringIndexAgree(t *testing.T) {
+	d, tgt := buildIndexFixture(t, 600)
+	spec := TQQProfile()
+	packed, err := buildProfileIndexOpt(d.Graph, spec, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	str, err := buildProfileIndexOpt(d.Graph, spec, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !packed.packed {
+		t.Fatal("two-attribute int32-range spec did not take the packed path")
+	}
+	if str.packed {
+		t.Fatal("forceString index still packed")
+	}
+	n := tgt.Graph.NumEntities()
+	for tv := 0; tv < n; tv++ {
+		p := packed.lookup(tgt.Graph, hin.EntityID(tv))
+		s := str.lookup(tgt.Graph, hin.EntityID(tv))
+		if len(p) != len(s) {
+			t.Fatalf("target %d: packed %d candidates, string %d", tv, len(p), len(s))
+		}
+		for i := range p {
+			if p[i] != s[i] {
+				t.Fatalf("target %d: packed[%d]=%d, string[%d]=%d", tv, i, p[i], i, s[i])
+			}
+		}
+	}
+}
+
+// TestPackedIndexOverflowFallsBack pins the wholesale fallback: one
+// auxiliary attribute value outside int32 must push the entire index onto
+// string keys, with lookups still correct.
+func TestPackedIndexOverflowFallsBack(t *testing.T) {
+	s := tqq.TargetSchema()
+	b := hin.NewBuilder(s)
+	b.AddEntity(0, "huge", int64(1)<<40, 1, 100, 2)
+	small := b.AddEntity(0, "small", 1980, 1, 100, 2)
+	aux, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := buildProfileIndex(aux, TQQProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.packed {
+		t.Fatal("index stayed packed despite a 2^40 attribute value")
+	}
+	tb := hin.NewBuilder(s)
+	tb.AddEntity(0, "t", 1980, 1, 50, 1)
+	target, err := tb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := idx.lookup(target, 0)
+	if len(got) != 1 || got[0] != small {
+		t.Fatalf("fallback lookup = %v, want [%d]", got, small)
+	}
+}
+
+// TestPackedIndexOverflowingTargetValue pins the other direction: the
+// auxiliary graph packs fine, a target value overflows int32 - the packed
+// key computation fails and the lookup must report no candidates (correct,
+// since no in-range auxiliary value can equal it).
+func TestPackedIndexOverflowingTargetValue(t *testing.T) {
+	aux := buildAux(t)
+	idx, err := buildProfileIndex(aux, TQQProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !idx.packed {
+		t.Fatal("fixture index unexpectedly unpacked")
+	}
+	tb := hin.NewBuilder(tqq.TargetSchema())
+	tb.AddEntity(0, "t", int64(1)<<40, 1, 50, 1)
+	target, err := tb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := idx.lookup(target, 0); got != nil {
+		t.Fatalf("overflowing target value matched %v, want nil", got)
+	}
+}
+
+func benchmarkLookup(b *testing.B, forceString bool) {
+	d, tgt := buildIndexFixture(b, 5000)
+	idx, err := buildProfileIndexOpt(d.Graph, TQQProfile(), forceString)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := tgt.Graph.NumEntities()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.lookup(tgt.Graph, hin.EntityID(i%n))
+	}
+}
+
+func BenchmarkProfileLookupPacked(b *testing.B) { benchmarkLookup(b, false) }
+func BenchmarkProfileLookupString(b *testing.B) { benchmarkLookup(b, true) }

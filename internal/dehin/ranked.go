@@ -3,7 +3,6 @@ package dehin
 import (
 	"sort"
 
-	"github.com/hinpriv/dehin/internal/bipartite"
 	"github.com/hinpriv/dehin/internal/hin"
 )
 
@@ -29,13 +28,15 @@ type RankedCandidate struct {
 // investigation of matched candidates possibly practical" - an analyst
 // works the ranked list from the top.
 func (a *Attack) DeanonymizeRanked(target *hin.Graph, tv hin.EntityID) []RankedCandidate {
-	profile := a.profileCandidates(target, tv)
+	s := a.getScratch()
+	defer a.putScratch(s)
+	profile := a.profileCandidates(s, target, tv)
 	out := make([]RankedCandidate, 0, len(profile))
-	memo := make(map[memoKey]bool)
+	a.ensureMemo(s, target)
 	for _, av := range profile {
 		out = append(out, RankedCandidate{
 			Entity: av,
-			Score:  a.neighborhoodScore(target, tv, av, memo),
+			Score:  a.neighborhoodScore(s, target, tv, av),
 		})
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -48,8 +49,10 @@ func (a *Attack) DeanonymizeRanked(target *hin.Graph, tv hin.EntityID) []RankedC
 }
 
 // neighborhoodScore computes matched-slots / total-slots at depth
-// cfg.MaxDistance (depth 0 scores every profile candidate 1).
-func (a *Attack) neighborhoodScore(target *hin.Graph, tv, av hin.EntityID, memo map[memoKey]bool) float64 {
+// cfg.MaxDistance (depth 0 scores every profile candidate 1). It builds
+// into the frame above the linkMatch recursion's deepest use, so the two
+// never collide.
+func (a *Attack) neighborhoodScore(s *queryScratch, target *hin.Graph, tv, av hin.EntityID) float64 {
 	if a.cfg.MaxDistance == 0 {
 		return 1
 	}
@@ -70,27 +73,24 @@ func (a *Attack) neighborhoodScore(target *hin.Graph, tv, av hin.EntityID, memo 
 			return
 		}
 		totalSlots += len(tns)
-		adj := make([][]int32, len(tns))
+		f := s.frame(a.cfg.MaxDistance)
+		f.reset()
 		for i, tb := range tns {
 			for j, ab := range ans {
 				if !a.lm(tws[i], aws[j]) {
 					continue
 				}
-				if !a.em(target, a.aux, tb, ab) {
+				if !a.emCached(s, target, tb, ab) {
 					continue
 				}
-				if a.cfg.MaxDistance > 1 && !a.linkMatch(target, a.cfg.MaxDistance-1, tb, ab, memo) {
+				if a.cfg.MaxDistance > 1 && !a.linkMatch(s, target, a.cfg.MaxDistance-1, tb, ab) {
 					continue
 				}
-				adj[i] = append(adj[i], int32(j))
+				f.dat = append(f.dat, int32(j))
 			}
+			f.closeRow()
 		}
-		_, _, size := bipartite.HopcroftKarp(bipartite.Graph{
-			NLeft:  len(tns),
-			NRight: len(ans),
-			Adj:    adj,
-		})
-		matchedSlots += size
+		matchedSlots += s.matcher.Match(f.graph(len(ans)))
 	}
 	for _, lt := range a.cfg.LinkTypes {
 		count(lt, false)

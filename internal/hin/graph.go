@@ -115,6 +115,27 @@ func (g *Graph) InDegree(lt LinkTypeID, v EntityID) int {
 	return int(c.off[v+1] - c.off[v])
 }
 
+// OutDegrees appends the out-degree of every entity via link type lt to
+// dst and returns the extended slice. One sequential pass over the CSR
+// offsets; meant for bulk consumers such as degree-signature indexes and
+// load-balanced work scheduling, where per-entity OutDegree calls would
+// pay n bounds checks.
+func (g *Graph) OutDegrees(lt LinkTypeID, dst []int32) []int32 {
+	return degreesFromOffsets(g.fwd[lt].off, dst)
+}
+
+// InDegrees is OutDegrees over the reverse adjacency.
+func (g *Graph) InDegrees(lt LinkTypeID, dst []int32) []int32 {
+	return degreesFromOffsets(g.rev[lt].off, dst)
+}
+
+func degreesFromOffsets(off []int64, dst []int32) []int32 {
+	for v := 0; v+1 < len(off); v++ {
+		dst = append(dst, int32(off[v+1]-off[v]))
+	}
+	return dst
+}
+
 // OutEdges returns zero-copy views of v's out-neighbors via lt (sorted
 // ascending by destination) and the parallel strengths.
 func (g *Graph) OutEdges(lt LinkTypeID, v EntityID) ([]EntityID, []int32) {

@@ -83,6 +83,33 @@ func TestOutInEdges(t *testing.T) {
 	}
 }
 
+func TestBulkDegrees(t *testing.T) {
+	g := buildToy(t)
+	for lt := 0; lt < g.Schema().NumLinkTypes(); lt++ {
+		out := g.OutDegrees(LinkTypeID(lt), nil)
+		in := g.InDegrees(LinkTypeID(lt), nil)
+		if len(out) != g.NumEntities() || len(in) != g.NumEntities() {
+			t.Fatalf("lt %d: bulk degree lengths %d/%d", lt, len(out), len(in))
+		}
+		for v := 0; v < g.NumEntities(); v++ {
+			if int(out[v]) != g.OutDegree(LinkTypeID(lt), EntityID(v)) {
+				t.Fatalf("lt %d entity %d: OutDegrees %d != OutDegree %d",
+					lt, v, out[v], g.OutDegree(LinkTypeID(lt), EntityID(v)))
+			}
+			if int(in[v]) != g.InDegree(LinkTypeID(lt), EntityID(v)) {
+				t.Fatalf("lt %d entity %d: InDegrees %d != InDegree %d",
+					lt, v, in[v], g.InDegree(LinkTypeID(lt), EntityID(v)))
+			}
+		}
+	}
+	// Appends to the tail of an existing slice.
+	pre := []int32{42}
+	got := g.OutDegrees(0, pre)
+	if len(got) != 1+g.NumEntities() || got[0] != 42 {
+		t.Fatalf("OutDegrees did not append: %v", got)
+	}
+}
+
 func TestFindEdge(t *testing.T) {
 	g := buildToy(t)
 	if w, ok := g.FindEdge(1, 0, 1); !ok || w != 5 {
@@ -421,7 +448,7 @@ func TestMergedStrengthOverflow(t *testing.T) {
 func TestSchemaTooManyTypes(t *testing.T) {
 	ets := make([]EntityType, 251)
 	for i := range ets {
-		ets[i] = EntityType{Name: string(rune('A' + i%26)) + string(rune('0' + i/26))}
+		ets[i] = EntityType{Name: string(rune('A'+i%26)) + string(rune('0'+i/26))}
 	}
 	if _, err := NewSchema(ets, nil); err == nil {
 		t.Fatal("251 entity types accepted")
