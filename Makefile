@@ -1,0 +1,26 @@
+# Development entry points. The repository is pure Go with no external
+# dependencies; every target needs only the go toolchain.
+
+GO ?= go
+
+.PHONY: build test verify bench benchdump
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# verify is the CI gate: static checks plus the race-detector run over the
+# packages with real concurrency (the sharded generator and the parallel
+# workbench/registry). Keep it green before committing.
+verify:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/experiments ./internal/tqq
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem
+
+# benchdump refreshes the committed benchmark snapshot (see BENCH_*.json).
+benchdump:
+	$(GO) run ./cmd/benchdump -pkg ./... -out BENCH_2.json

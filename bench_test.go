@@ -296,6 +296,43 @@ func BenchmarkGenerateDataset(b *testing.B) {
 	}
 }
 
+// BenchmarkGenerate50k measures sharded generation at the
+// PaperScaleParams auxiliary size (50k users, 20 planted communities).
+func BenchmarkGenerate50k(b *testing.B) {
+	p := experiments.PaperScaleParams()
+	cfg := tqq.DefaultConfig(p.AuxUsers, p.Seed)
+	for _, d := range p.Densities {
+		for s := 0; s < p.SamplesPerDensity; s++ {
+			cfg.Communities = append(cfg.Communities, tqq.CommunitySpec{
+				Size:    p.TargetSize,
+				Density: d,
+			})
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := tqq.Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunAll measures the whole pipeline - workbench construction
+// (sharded generation + concurrent release warm-up) plus all fourteen
+// experiments over the cached-artifact workbench - at the default scale.
+func BenchmarkRunAll(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		tables, err := experiments.RunAll(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) != 14 {
+			b.Fatalf("got %d tables", len(tables))
+		}
+	}
+}
+
 // BenchmarkProjection measures event-level meta-path projection.
 func BenchmarkProjection(b *testing.B) {
 	g, err := tqq.GenerateEvents(tqq.DefaultEventConfig(2000, 5))

@@ -23,17 +23,19 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id or 'all'")
-		quick   = flag.Bool("quick", false, "use reduced parameters")
-		paper   = flag.Bool("paperscale", false, "use the large 50k-user configuration (hours on one core)")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		seed    = flag.Uint64("seed", 0, "override seed (0 keeps the default)")
-		aux     = flag.Int("aux", 0, "override auxiliary user count")
-		target  = flag.Int("target", 0, "override target graph size")
-		samples = flag.Int("samples", 0, "override samples per density")
-		dens    = flag.String("densities", "", "override densities, comma-separated")
-		par     = flag.Int("parallelism", 0, "attack parallelism (0 = all cores)")
-		outDir  = flag.String("out", "", "also write each table as CSV into this directory")
+		exp      = flag.String("exp", "all", "experiment id or 'all'")
+		quick    = flag.Bool("quick", false, "use reduced parameters")
+		paper    = flag.Bool("paperscale", false, "use the large 50k-user configuration (hours on one core)")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		seed     = flag.Uint64("seed", 0, "override seed (0 keeps the default)")
+		aux      = flag.Int("aux", 0, "override auxiliary user count")
+		target   = flag.Int("target", 0, "override target graph size")
+		samples  = flag.Int("samples", 0, "override samples per density")
+		dens     = flag.String("densities", "", "override densities, comma-separated")
+		par      = flag.Int("parallelism", 0, "attack parallelism (0 = all cores)")
+		parallel = flag.Int("parallel", 0, "pipeline workers: generator shards, release warm-up, concurrent experiments (0 = all cores, 1 = serial)")
+		timing   = flag.Bool("timing", false, "print per-experiment wall time and cache hit/miss counts to stderr")
+		outDir   = flag.String("out", "", "also write each table as CSV into this directory")
 	)
 	flag.Parse()
 
@@ -73,6 +75,7 @@ func main() {
 		}
 	}
 	p.Parallelism = *par
+	p.Workers = *parallel
 
 	fmt.Printf("params: aux=%d target=%d samples/density=%d densities=%v distances=%v seed=%d\n\n",
 		p.AuxUsers, p.TargetSize, p.SamplesPerDensity, p.Densities, p.Distances, p.Seed)
@@ -82,9 +85,25 @@ func main() {
 	var err error
 	streamed := *exp == "all"
 	if streamed {
-		tables, err = experiments.RunAllTo(os.Stdout, p)
+		var perExp []experiments.ExperimentTiming
+		var stats experiments.CacheStats
+		tables, perExp, stats, err = experiments.RunAllTimed(os.Stdout, p)
+		if *timing {
+			for _, t := range perExp {
+				fmt.Fprintf(os.Stderr, "timing: %-20s %v\n", t.ID, t.Elapsed.Round(time.Millisecond))
+			}
+			fmt.Fprintln(os.Stderr, stats)
+		}
 	} else {
-		tables, err = experiments.Run(*exp, p)
+		var w *experiments.Workbench
+		w, err = experiments.NewWorkbench(p)
+		if err == nil {
+			tables, err = experiments.RunOn(w, *exp)
+			if *timing {
+				fmt.Fprintf(os.Stderr, "timing: %-20s %v\n", *exp, time.Since(start).Round(time.Millisecond))
+				fmt.Fprintln(os.Stderr, w.Stats())
+			}
+		}
 	}
 	if err != nil {
 		fatalf("%v", err)
@@ -106,7 +125,7 @@ func main() {
 			fmt.Printf("wrote %s\n", path)
 		}
 	}
-	fmt.Printf("done in %v\n", time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))
 }
 
 func fatalf(format string, args ...any) {

@@ -17,6 +17,12 @@
 //   - GeneralizeStrengths - a k-neighborhood-signature anonymization by
 //     strength generalization (coarsening strengths into buckets until
 //     every distance-1 neighborhood signature has >= k copies).
+//
+// Every function in this package is safe for concurrent use: each call
+// reads its input graph (never mutating it), builds a fresh output graph,
+// and draws randomness only from an RNG derived from the explicit seed
+// argument - there is no package-level state. The parallel experiments
+// workbench relies on this to release and harden many targets at once.
 package anonymize
 
 import (

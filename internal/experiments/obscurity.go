@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 
-	"github.com/hinpriv/dehin/internal/anonymize"
 	"github.com/hinpriv/dehin/internal/dehin"
 )
 
@@ -32,7 +31,6 @@ func RunObscurity(w *Workbench) (*ObscurityResult, error) {
 			maxN = n
 		}
 	}
-	strengthMax := w.GenConfig().StrengthMax
 	plain, err := w.Attack(dehin.Config{MaxDistance: maxN})
 	if err != nil {
 		return nil, err
@@ -59,22 +57,17 @@ func RunObscurity(w *Workbench) (*ObscurityResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		var pCGA float64
-		for ti, rt := range targets {
-			cg, err := anonymize.CompleteGraph(rt.Graph, anonymize.CGAOptions{
-				StrengthMax: strengthMax,
-				Seed:        p.Seed + uint64(9000+di*100+ti),
-			})
-			if err != nil {
-				return nil, err
-			}
-			r, err := reconfig.Run(cg, rt.Truth)
-			if err != nil {
-				return nil, err
-			}
-			pCGA += r.Precision
+		// The CGA side reuses the workbench's cached completions (the
+		// same ones Table 4 attacks), exercising the re-configured
+		// attack on hardened targets without re-anonymizing.
+		completed, err := w.CompletedTargets(di, false)
+		if err != nil {
+			return nil, err
 		}
-		pCGA /= float64(len(targets))
+		pCGA, _, err := averageRun(reconfig, completed, nil)
+		if err != nil {
+			return nil, err
+		}
 		res.Plain = append(res.Plain, pPlain)
 		res.ReconfigKDDA = append(res.ReconfigKDDA, pKDDA)
 		res.ReconfigCGA = append(res.ReconfigCGA, pCGA)

@@ -37,6 +37,12 @@ type Params struct {
 	Distances []int
 	// Parallelism bounds attack concurrency; 0 means GOMAXPROCS.
 	Parallelism int
+	// Workers bounds pipeline concurrency outside the attack inner loop:
+	// the sharded generator, the workbench release warm-up pool, and how
+	// many experiments RunAll computes at once. 0 means GOMAXPROCS; 1
+	// forces the fully serial pipeline. Results are identical for every
+	// value.
+	Workers int
 }
 
 // DefaultParams returns the committed configuration: every paper shape is

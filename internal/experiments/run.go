@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -129,15 +130,61 @@ func Names() []string {
 
 // Run executes one experiment by id on a fresh workbench.
 func Run(id string, p Params) ([]*Table, error) {
-	r, ok := Registry()[id]
-	if !ok {
-		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, Names())
-	}
 	w, err := NewWorkbench(p)
 	if err != nil {
 		return nil, err
 	}
+	return RunOn(w, id)
+}
+
+// RunOn executes one experiment by id on a caller-owned workbench,
+// sharing its artifact cache with whatever ran before.
+func RunOn(w *Workbench, id string) ([]*Table, error) {
+	r, ok := Registry()[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, Names())
+	}
 	return r(w)
+}
+
+// cell is a concurrency-safe lazily-computed intermediate shared between
+// experiment slots (Table 1 feeds Figure 7, Table 3 feeds Figure 9, the
+// CGA sweeps feed Table 4 and Figure 8). Whichever slot asks first
+// computes; the rest block on the same result.
+type cell[T any] struct {
+	once sync.Once
+	fn   func() (T, error)
+	val  T
+	err  error
+}
+
+func newCell[T any](fn func() (T, error)) *cell[T] {
+	return &cell[T]{fn: fn}
+}
+
+func (c *cell[T]) get() (T, error) {
+	c.once.Do(func() {
+		c.val, c.err = c.fn()
+		c.fn = nil
+	})
+	return c.val, c.err
+}
+
+// runAllOrder is the fixed output order of the full suite - the order the
+// serial pipeline always printed, kept stable no matter which experiment
+// finishes first.
+var runAllOrder = []string{
+	"table1", "figure7", "table2", "table3", "figure9", "table4", "figure8",
+	"ablation-growth", "ablation-baseline", "ablation-homog", "utility",
+	"ablation-perturb", "ablation-bottleneck", "obscurity",
+}
+
+// ExperimentTiming records one experiment slot's wall time inside RunAll.
+// Under concurrency the times overlap; their sum exceeds the suite's
+// wall clock.
+type ExperimentTiming struct {
+	ID      string
+	Elapsed time.Duration
 }
 
 // RunAll executes every experiment on one shared workbench, computing the
@@ -145,95 +192,156 @@ func Run(id string, p Params) ([]*Table, error) {
 // Figure 9, and Table 2 plus the two CGA sweeps yield Table 4 and
 // Figure 8.
 func RunAll(p Params) ([]*Table, error) {
-	return RunAllTo(nil, p)
+	out, _, _, err := RunAllTimed(nil, p)
+	return out, err
 }
 
 // RunAllTo is RunAll streaming each rendered table (with a timing line) to
-// w as soon as it is computed; pass nil to collect silently.
+// sink as soon as its turn in the fixed order comes; pass nil to collect
+// silently.
 func RunAllTo(sink io.Writer, p Params) ([]*Table, error) {
+	out, _, _, err := RunAllTimed(sink, p)
+	return out, err
+}
+
+// RunAllTimed is RunAllTo returning per-experiment wall times and the
+// final artifact-cache statistics alongside the tables.
+//
+// Independent experiments run concurrently over the shared workbench, at
+// most p.Workers at a time (0 = GOMAXPROCS). Shared intermediates are
+// computed once in whichever slot needs them first; every other artifact
+// comes from the workbench cache. Output is streamed to sink in the fixed
+// suite order as a finished slot reaches the front, so the rendered
+// tables are byte-identical for every Workers value - concurrency moves
+// only the timing lines.
+func RunAllTimed(sink io.Writer, p Params) ([]*Table, []ExperimentTiming, CacheStats, error) {
 	w, err := NewWorkbench(p)
 	if err != nil {
-		return nil, err
+		return nil, nil, CacheStats{}, err
 	}
 	if sink != nil {
 		fmt.Fprintf(sink, "workbench ready: %d users, %d edges\n\n",
 			w.Dataset.Graph.NumEntities(), w.Dataset.Graph.NumEdgesTotal())
 	}
-	var out []*Table
-	last := time.Now()
-	add := func(t *Table) {
-		out = append(out, t)
-		if sink != nil {
-			fmt.Fprintf(sink, "%s[%v]\n\n", t, time.Since(last).Round(time.Millisecond))
-			last = time.Now()
+
+	t1 := newCell(func() (*Table1Result, error) { return RunTable1(w) })
+	t2 := newCell(func() (*Table2Result, error) { return RunTable2(w) })
+	t3 := newCell(func() (*Table3Result, error) { return RunTable3(w) })
+	cga := newCell(func() (*Table4Result, error) { return runCGASweep(w, false) })
+	vw := newCell(func() (*Table4Result, error) { return runCGASweep(w, true) })
+
+	compute := map[string]func() (*Table, error){
+		"table1": func() (*Table, error) {
+			r, err := t1.get()
+			if err != nil {
+				return nil, err
+			}
+			return r.Render(), nil
+		},
+		"figure7": func() (*Table, error) {
+			r, err := t1.get()
+			if err != nil {
+				return nil, err
+			}
+			return RunFigure7(r).Render(), nil
+		},
+		"table2": func() (*Table, error) {
+			r, err := t2.get()
+			if err != nil {
+				return nil, err
+			}
+			return r.Render(), nil
+		},
+		"table3": func() (*Table, error) {
+			r, err := t3.get()
+			if err != nil {
+				return nil, err
+			}
+			return r.Render(), nil
+		},
+		"figure9": func() (*Table, error) {
+			r, err := t3.get()
+			if err != nil {
+				return nil, err
+			}
+			return RunFigure9(r).Render(), nil
+		},
+		"table4": func() (*Table, error) {
+			r, err := cga.get()
+			if err != nil {
+				return nil, err
+			}
+			return r.Render(), nil
+		},
+		"figure8": func() (*Table, error) {
+			t2r, err := t2.get()
+			if err != nil {
+				return nil, err
+			}
+			cgar, err := cga.get()
+			if err != nil {
+				return nil, err
+			}
+			vwr, err := vw.get()
+			if err != nil {
+				return nil, err
+			}
+			return figure8From(p, t2r, cgar, vwr).Render(), nil
+		},
+	}
+	for _, id := range []string{"ablation-growth", "ablation-baseline",
+		"ablation-homog", "utility", "ablation-perturb",
+		"ablation-bottleneck", "obscurity"} {
+		runner := Registry()[id]
+		compute[id] = func() (*Table, error) {
+			ts, err := runner(w)
+			if err != nil {
+				return nil, err
+			}
+			return ts[0], nil
 		}
 	}
 
-	t1, err := RunTable1(w)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: table1: %w", err)
+	type slotResult struct {
+		tbl     *Table
+		err     error
+		elapsed time.Duration
 	}
-	add(t1.Render())
-	add(RunFigure7(t1).Render())
+	results := make([]slotResult, len(runAllOrder))
+	done := make([]chan struct{}, len(runAllOrder))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	go runLimited(p.Workers, len(runAllOrder), func(i int) {
+		start := time.Now()
+		tbl, err := compute[runAllOrder[i]]()
+		results[i] = slotResult{tbl: tbl, err: err, elapsed: time.Since(start)}
+		close(done[i])
+	})
 
-	t2, err := RunTable2(w)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: table2: %w", err)
+	var out []*Table
+	timings := make([]ExperimentTiming, 0, len(runAllOrder))
+	var firstErr error
+	for i, id := range runAllOrder {
+		<-done[i]
+		r := results[i]
+		timings = append(timings, ExperimentTiming{ID: id, Elapsed: r.elapsed})
+		if r.err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("experiments: %s: %w", id, r.err)
+			}
+			continue
+		}
+		if firstErr != nil {
+			continue
+		}
+		out = append(out, r.tbl)
+		if sink != nil {
+			fmt.Fprintf(sink, "%s\n\n", r.tbl)
+		}
 	}
-	add(t2.Render())
-
-	t3, err := RunTable3(w)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: table3: %w", err)
+	if firstErr != nil {
+		return nil, timings, w.Stats(), firstErr
 	}
-	add(t3.Render())
-	add(RunFigure9(t3).Render())
-
-	cga, err := runCGASweep(w, false)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: table4: %w", err)
-	}
-	add(cga.Render())
-	vw, err := runCGASweep(w, true)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: figure8: %w", err)
-	}
-	add(figure8From(p, t2, cga, vw).Render())
-
-	growth, err := RunGrowthAblation(w)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: ablation-growth: %w", err)
-	}
-	add(growth.Render())
-	base, err := RunBaselineAblation(w)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: ablation-baseline: %w", err)
-	}
-	add(base.Render())
-	homog, err := RunHomogeneousAblation(w)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: ablation-homog: %w", err)
-	}
-	add(homog.Render())
-	util, err := RunUtility(w)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: utility: %w", err)
-	}
-	add(util.Render())
-	perturb, err := RunPerturbAblation(w)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: ablation-perturb: %w", err)
-	}
-	add(perturb.Render())
-	bottleneck, err := RunBottleneck(w)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: ablation-bottleneck: %w", err)
-	}
-	add(bottleneck.Render())
-	obscurity, err := RunObscurity(w)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: obscurity: %w", err)
-	}
-	add(obscurity.Render())
-	return out, nil
+	return out, timings, w.Stats(), nil
 }

@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 
-	"github.com/hinpriv/dehin/internal/anonymize"
 	"github.com/hinpriv/dehin/internal/dehin"
 )
 
@@ -24,29 +23,15 @@ func RunTable4(w *Workbench) (*Table4Result, error) {
 }
 
 // runCGASweep powers Table 4 (varyWeights=false) and the VW-CGA series of
-// Figure 8 (varyWeights=true).
+// Figure 8 (varyWeights=true). Completions come from the workbench cache,
+// shared with the utility and obscurity experiments.
 func runCGASweep(w *Workbench, varyWeights bool) (*Table4Result, error) {
 	p := w.Params
-	strengthMax := w.GenConfig().StrengthMax
 	res := &Table4Result{Params: p, Densities: p.Densities, Distances: p.Distances}
 	for di := range p.Densities {
-		targets, err := w.Targets(di)
+		completed, err := w.CompletedTargets(di, varyWeights)
 		if err != nil {
 			return nil, err
-		}
-		// CGA is deterministic per target: apply once per target, reuse
-		// across distances.
-		completed := make([]*ReleasedTarget, len(targets))
-		for ti, rt := range targets {
-			cg, err := anonymize.CompleteGraph(rt.Graph, anonymize.CGAOptions{
-				VaryWeights: varyWeights,
-				StrengthMax: strengthMax,
-				Seed:        p.Seed + uint64(di*100+ti),
-			})
-			if err != nil {
-				return nil, err
-			}
-			completed[ti] = &ReleasedTarget{Graph: cg, Truth: rt.Truth}
 		}
 		row := make([]Cell, len(p.Distances))
 		for ni, n := range p.Distances {

@@ -2,6 +2,11 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
 
 	"github.com/hinpriv/dehin/internal/anonymize"
 	"github.com/hinpriv/dehin/internal/dehin"
@@ -13,6 +18,16 @@ import (
 // Workbench builds the shared experimental fixture once: the auxiliary
 // network with SamplesPerDensity planted communities per density, the
 // released (KDDA-anonymized) target graphs, and a shared candidate index.
+//
+// Everything derived from the fixture is memoized in a thread-safe
+// artifact cache - released targets per community, CGA-completed targets
+// per (community, weight mode), and constructed dehin.Attack values per
+// configuration - so table2/table3/ablations never recompute what table1
+// already produced, and concurrent experiments share one copy. All cached
+// artifacts are pure functions of (Params, key): releases draw from
+// per-community streams and completions from per-target seeds, never from
+// a shared sequential stream, so the cache contents are independent of
+// which experiment asks first.
 type Workbench struct {
 	Params  Params
 	Dataset *tqq.Dataset
@@ -20,6 +35,13 @@ type Workbench struct {
 
 	// byDensity[i] lists the community indices of Params.Densities[i].
 	byDensity [][]int
+
+	targets   []targetSlot    // released targets, one slot per community
+	completed [2][]targetSlot // CGA completions: [varyWeights][community]
+	mu        sync.Mutex
+	attacks   map[string]*attackSlot
+
+	stats cacheCounters
 }
 
 // ReleasedTarget is one anonymized target graph ready to attack: the graph
@@ -29,12 +51,64 @@ type ReleasedTarget struct {
 	Truth []hin.EntityID
 }
 
-// NewWorkbench generates the fixture for the given parameters.
+// targetSlot memoizes one released (or CGA-completed) target.
+type targetSlot struct {
+	once sync.Once
+	rt   *ReleasedTarget
+	err  error
+}
+
+// attackSlot memoizes one constructed attack.
+type attackSlot struct {
+	once sync.Once
+	a    *dehin.Attack
+	err  error
+}
+
+type cacheCounters struct {
+	targetHits, targetMisses atomic.Int64
+	cgaHits, cgaMisses       atomic.Int64
+	attackHits, attackMisses atomic.Int64
+}
+
+// CacheStats is a point-in-time snapshot of the workbench artifact cache.
+// A miss is a computation; a hit is a request served from a completed (or
+// in-flight) slot.
+type CacheStats struct {
+	TargetHits, TargetMisses int64
+	CGAHits, CGAMisses       int64
+	AttackHits, AttackMisses int64
+}
+
+// Stats snapshots the cache counters.
+func (w *Workbench) Stats() CacheStats {
+	return CacheStats{
+		TargetHits:   w.stats.targetHits.Load(),
+		TargetMisses: w.stats.targetMisses.Load(),
+		CGAHits:      w.stats.cgaHits.Load(),
+		CGAMisses:    w.stats.cgaMisses.Load(),
+		AttackHits:   w.stats.attackHits.Load(),
+		AttackMisses: w.stats.attackMisses.Load(),
+	}
+}
+
+// String renders the snapshot as one stderr-friendly line.
+func (s CacheStats) String() string {
+	return fmt.Sprintf("cache: targets %d hit / %d miss, cga %d hit / %d miss, attacks %d hit / %d miss",
+		s.TargetHits, s.TargetMisses, s.CGAHits, s.CGAMisses, s.AttackHits, s.AttackMisses)
+}
+
+// NewWorkbench generates the fixture for the given parameters. The
+// generator runs sharded on p.Workers workers and every community's
+// release is warmed concurrently in the same bounded pool, so the
+// workbench comes back fully materialized; output is identical for every
+// worker count.
 func NewWorkbench(p Params) (*Workbench, error) {
 	if err := p.validate(); err != nil {
 		return nil, err
 	}
 	cfg := tqq.DefaultConfig(p.AuxUsers, p.Seed)
+	cfg.Workers = p.Workers
 	byDensity := make([][]int, len(p.Densities))
 	for i, d := range p.Densities {
 		for s := 0; s < p.SamplesPerDensity; s++ {
@@ -53,26 +127,83 @@ func NewWorkbench(p Params) (*Workbench, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Workbench{Params: p, Dataset: ds, Index: idx, byDensity: byDensity}, nil
+	w := &Workbench{
+		Params:    p,
+		Dataset:   ds,
+		Index:     idx,
+		byDensity: byDensity,
+		targets:   make([]targetSlot, len(cfg.Communities)),
+		attacks:   make(map[string]*attackSlot),
+	}
+	for vw := range w.completed {
+		w.completed[vw] = make([]targetSlot, len(cfg.Communities))
+	}
+	// Warm every release now; experiments then only ever hit the cache.
+	nc := len(cfg.Communities)
+	errs := make([]error, nc)
+	runLimited(p.Workers, nc, func(ci int) {
+		_, errs[ci] = w.target(ci)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+// runLimited executes fn(0..n-1) on a pool of at most `workers`
+// goroutines (0 = GOMAXPROCS). Calls must be independent.
+func runLimited(workers, n int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // GenConfig returns the tqq generator configuration the workbench used
 // (needed by growth experiments).
 func (w *Workbench) GenConfig() tqq.Config {
 	cfg := tqq.DefaultConfig(w.Params.AuxUsers, w.Params.Seed)
+	cfg.Workers = w.Params.Workers
 	return cfg
 }
 
 // Targets returns the released target graphs for the di-th density:
 // community samples, KDDA-anonymized (ids shuffled and relabeled), with
-// composed ground truth into the dataset.
+// composed ground truth into the dataset. Results are cached; callers
+// across goroutines receive the same shared, read-only values.
 func (w *Workbench) Targets(di int) ([]*ReleasedTarget, error) {
 	if di < 0 || di >= len(w.byDensity) {
 		return nil, fmt.Errorf("experiments: density index %d out of range", di)
 	}
-	var out []*ReleasedTarget
+	out := make([]*ReleasedTarget, 0, len(w.byDensity[di]))
 	for _, ci := range w.byDensity[di] {
-		rt, err := w.releaseCommunity(ci)
+		rt, err := w.target(ci)
 		if err != nil {
 			return nil, err
 		}
@@ -81,7 +212,74 @@ func (w *Workbench) Targets(di int) ([]*ReleasedTarget, error) {
 	return out, nil
 }
 
-// releaseCommunity samples community ci and anonymizes it KDDA-style.
+// target returns community ci's released target, computing it at most
+// once.
+func (w *Workbench) target(ci int) (*ReleasedTarget, error) {
+	s := &w.targets[ci]
+	fresh := false
+	s.once.Do(func() {
+		fresh = true
+		w.stats.targetMisses.Add(1)
+		s.rt, s.err = w.releaseCommunity(ci)
+	})
+	if !fresh {
+		w.stats.targetHits.Add(1)
+	}
+	return s.rt, s.err
+}
+
+// CompletedTargets returns the di-th density's released targets hardened
+// with Complete Graph Anonymity (varying fake weights when varyWeights).
+// Completion seeds are a pure function of the target's (density, sample)
+// position, so Table 4, Figure 8, the utility frontier, and the obscurity
+// comparison all share one completion per target. Results are cached.
+func (w *Workbench) CompletedTargets(di int, varyWeights bool) ([]*ReleasedTarget, error) {
+	if di < 0 || di >= len(w.byDensity) {
+		return nil, fmt.Errorf("experiments: density index %d out of range", di)
+	}
+	vw := 0
+	if varyWeights {
+		vw = 1
+	}
+	strengthMax := w.GenConfig().StrengthMax
+	out := make([]*ReleasedTarget, 0, len(w.byDensity[di]))
+	for ti, ci := range w.byDensity[di] {
+		s := &w.completed[vw][ci]
+		fresh := false
+		s.once.Do(func() {
+			fresh = true
+			w.stats.cgaMisses.Add(1)
+			rt, err := w.target(ci)
+			if err != nil {
+				s.err = err
+				return
+			}
+			cg, err := anonymize.CompleteGraph(rt.Graph, anonymize.CGAOptions{
+				VaryWeights: varyWeights,
+				StrengthMax: strengthMax,
+				Seed:        w.Params.Seed + uint64(di*100+ti),
+			})
+			if err != nil {
+				s.err = err
+				return
+			}
+			s.rt = &ReleasedTarget{Graph: cg, Truth: rt.Truth}
+		})
+		if !fresh {
+			w.stats.cgaHits.Add(1)
+		}
+		if s.err != nil {
+			return nil, s.err
+		}
+		out = append(out, s.rt)
+	}
+	return out, nil
+}
+
+// releaseCommunity samples community ci and anonymizes it KDDA-style. The
+// randomness is a pure function of (Params.Seed, ci), never of call
+// order, which is what lets releases be computed lazily, concurrently, or
+// warmed up front with identical results.
 func (w *Workbench) releaseCommunity(ci int) (*ReleasedTarget, error) {
 	rng := randx.New(w.Params.Seed).Split(uint64(1000 + ci))
 	tgt, err := tqq.CommunityTarget(w.Dataset, ci, rng)
@@ -100,14 +298,54 @@ func (w *Workbench) releaseCommunity(ci int) (*ReleasedTarget, error) {
 }
 
 // Attack builds a DeHIN attack against the workbench's auxiliary network,
-// sharing the prebuilt index.
+// sharing the prebuilt index. Attacks for func-free configurations are
+// memoized by configuration value - dehin.Attack is safe for concurrent
+// use, so one instance serves every experiment that asks for the same
+// setup (table2 alone asks for each distance configuration once per
+// density). Configurations carrying custom EntityMatch/LinkMatch funcs
+// are not comparable and bypass the cache.
 func (w *Workbench) Attack(cfg dehin.Config) (*dehin.Attack, error) {
 	cfg.Profile = dehin.TQQProfile()
 	cfg.SharedIndex = w.Index
 	if cfg.Parallelism == 0 {
 		cfg.Parallelism = w.Params.Parallelism
 	}
-	return dehin.NewAttack(w.Dataset.Graph, cfg)
+	if cfg.EntityMatch != nil || cfg.LinkMatch != nil {
+		return dehin.NewAttack(w.Dataset.Graph, cfg)
+	}
+	key := attackKey(cfg)
+	w.mu.Lock()
+	s, ok := w.attacks[key]
+	if !ok {
+		s = &attackSlot{}
+		w.attacks[key] = s
+	}
+	w.mu.Unlock()
+	fresh := false
+	s.once.Do(func() {
+		fresh = true
+		w.stats.attackMisses.Add(1)
+		s.a, s.err = dehin.NewAttack(w.Dataset.Graph, cfg)
+	})
+	if !fresh {
+		w.stats.attackHits.Add(1)
+	}
+	return s.a, s.err
+}
+
+// attackKey canonicalizes the comparable dehin.Config fields. Profile and
+// SharedIndex are workbench-constant and excluded.
+func attackKey(cfg dehin.Config) string {
+	lts := make([]int, len(cfg.LinkTypes))
+	for i, lt := range cfg.LinkTypes {
+		lts[i] = int(lt)
+	}
+	sort.Ints(lts)
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d lt=%v maj=%t fb=%t in=%t tol=%g idx=%t par=%d",
+		cfg.MaxDistance, lts, cfg.RemoveMajorityStrength, cfg.FallbackProfileOnly,
+		cfg.UseInEdges, cfg.NeighborTolerance, cfg.UseIndex, cfg.Parallelism)
+	return b.String()
 }
 
 // AttackOn is Attack against an alternative auxiliary graph (e.g. a grown

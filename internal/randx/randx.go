@@ -37,6 +37,29 @@ func (g *RNG) Split(tag uint64) *RNG {
 	return &RNG{r: rand.New(rand.NewPCG(a^mix(tag), mix(a+tag)))}
 }
 
+// Fork pre-derives n independent child RNGs in one serial pass over the
+// parent. The children are a pure function of the parent's state at the
+// call, so handing Fork(n) streams to n concurrent workers yields output
+// that is independent of how the workers are scheduled - the derivation
+// order is fixed here, only the consumption runs in parallel. This is the
+// sharding primitive behind the parallel tqq generator.
+func (g *RNG) Fork(n int) []*RNG {
+	out := make([]*RNG, n)
+	for i := range out {
+		out[i] = g.Split(uint64(i))
+	}
+	return out
+}
+
+// Shard returns the RNG for worker shard `shard` of the stream identified
+// by seed. Unlike Split it is a pure function of (seed, shard) - no parent
+// state is consumed - so callers can derive any shard's stream directly,
+// in any order, from any goroutine.
+func Shard(seed, shard uint64) *RNG {
+	a := mix(seed) ^ mix(shard+0x9e3779b97f4a7c15)
+	return &RNG{r: rand.New(rand.NewPCG(a, mix(a+shard)))}
+}
+
 // mix is the SplitMix64 finalizer, used to decorrelate derived seeds.
 func mix(x uint64) uint64 {
 	x += 0x9e3779b97f4a7c15

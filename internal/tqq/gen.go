@@ -2,7 +2,10 @@ package tqq
 
 import (
 	"fmt"
-	"sort"
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
 
 	"github.com/hinpriv/dehin/internal/hin"
 	"github.com/hinpriv/dehin/internal/randx"
@@ -26,6 +29,13 @@ type Config struct {
 	Users int
 	// Seed drives all generator randomness.
 	Seed uint64
+
+	// Workers bounds the generator's worker pool; 0 means GOMAXPROCS.
+	// The generated dataset is a function of the Config alone: work is
+	// cut into fixed-size shards whose random streams derive only from
+	// (Seed, shard id), so output is byte-identical for every Workers
+	// value and every GOMAXPROCS setting.
+	Workers int
 
 	// YearMin and YearMax bound the year-of-birth attribute; the default
 	// span of 87 years matches the paper's reported yob cardinality.
@@ -136,9 +146,35 @@ type Dataset struct {
 	Communities [][]hin.EntityID
 }
 
+// genShardUsers is the fixed shard width of the parallel generator. Shard
+// boundaries (and therefore shard random streams) depend only on the user
+// count, never on the worker pool size, which is what makes the output
+// independent of Workers/GOMAXPROCS.
+const genShardUsers = 2048
+
+// edge is one generated directed edge awaiting the deterministic merge
+// into the hin.Builder.
+type edge struct {
+	src, dst hin.EntityID
+	w        int32
+}
+
 // Generate synthesizes a dataset per cfg. It returns an error if the
 // configuration is inconsistent (too few users for the requested
 // communities, bad ranges, or a community density that exceeds 1).
+//
+// Determinism and ordering invariant: the dataset is a pure function of
+// cfg. Every stage (profiles, community planting, background edges,
+// recommendation log) is cut into tasks whose random streams are derived
+// serially - before any worker runs - from the stage stream, with fixed
+// shard boundaries (genShardUsers) or fixed task identity (community
+// index, link type). Workers only consume pre-derived streams and write
+// to pre-assigned slots. Edges are then handed to the Builder per link
+// type in ascending order, each type's buffer stably sorted by
+// (src, dst); ties (duplicate pairs, merged by summed strength at Build)
+// keep task order. The AddEntity/AddEdge sequence is therefore fully
+// specified, not an accident of scheduling: Generate(cfg) is
+// byte-identical for every Workers and GOMAXPROCS value.
 func Generate(cfg Config) (*Dataset, error) {
 	if err := validate(&cfg); err != nil {
 		return nil, err
@@ -154,12 +190,33 @@ func Generate(cfg Config) (*Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
+
+	// Plan community planting: budgets (and their validation) are serial
+	// and cheap; the edge sampling is the expensive part and runs as one
+	// task per (community, link type), each on its own pre-derived
+	// stream.
+	var tasks []*edgeTask
 	for i, spec := range cfg.Communities {
-		if err := plantCommunity(b, schema, spec, comms[i], cfg, rng.Split(uint64(10+i))); err != nil {
+		ctasks, err := planCommunity(schema, spec, comms[i], cfg, rng.Split(uint64(10+i)))
+		if err != nil {
 			return nil, err
 		}
+		tasks = append(tasks, ctasks...)
 	}
-	genBackground(b, schema, cfg, inCommunity, rng.Split(3))
+	tasks = append(tasks, planBackground(schema, cfg, inCommunity, rng.Split(3))...)
+
+	runTasks(cfg.Workers, len(tasks), func(i int) {
+		t := tasks[i]
+		t.out, t.err = t.gen()
+	})
+	for _, t := range tasks {
+		if t.err != nil {
+			return nil, t.err
+		}
+	}
+	if err := mergeEdges(b, schema, tasks); err != nil {
+		return nil, err
+	}
 
 	g, err := b.Build()
 	if err != nil {
@@ -167,6 +224,55 @@ func Generate(cfg Config) (*Dataset, error) {
 	}
 	items, rec := genRecLog(cfg, rng.Split(4))
 	return &Dataset{Graph: g, Items: items, Rec: rec, Communities: comms}, nil
+}
+
+// edgeTask is one independent edge-sampling unit: it draws only from its
+// own RNG and emits into its own buffer, merged later in task order.
+type edgeTask struct {
+	lt  hin.LinkTypeID
+	gen func() ([]edge, error)
+	out []edge
+	err error
+}
+
+// runTasks executes n independent tasks on a worker pool of the given
+// size (0 = GOMAXPROCS). Tasks must be independent: they draw randomness
+// only from streams derived before dispatch and write only to their own
+// slots, so the schedule cannot affect the result.
+func runTasks(workers, n int, task func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			task(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				task(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// userShards returns the number of fixed-width user shards for cfg.
+func userShards(users int) int {
+	return (users + genShardUsers - 1) / genShardUsers
 }
 
 func validate(cfg *Config) error {
@@ -210,7 +316,19 @@ func validate(cfg *Config) error {
 	return nil
 }
 
+// profileShard buffers one user shard's drawn profile, filled by a worker
+// and drained serially into the Builder in shard order.
+type profileShard struct {
+	label  []string
+	scalar [][4]int64 // yob, gender, tweets, ntags
+	tags   [][]int32  // nil when the user has no tags
+}
+
 // genProfiles adds all user entities with calibrated profile attributes.
+// Each fixed-width user shard draws from its own stream (forked serially
+// from the stage stream) into a private buffer; the Builder is then fed
+// in shard order, so entity ids and attributes never depend on
+// scheduling.
 func genProfiles(b *hin.Builder, cfg Config, rng *randx.RNG) {
 	gender, err := randx.NewAlias(cfg.GenderWeights)
 	if err != nil {
@@ -220,23 +338,47 @@ func genProfiles(b *hin.Builder, cfg Config, rng *randx.RNG) {
 	if err != nil {
 		panic(err)
 	}
-	for i := 0; i < cfg.Users; i++ {
-		yob := int64(rng.IntRange(cfg.YearMin, cfg.YearMax))
-		gen := int64(gender.Sample(rng))
-		tweets := int64(rng.LogUniformInt(0, cfg.TweetCountMax))
-		ntags := rng.Intn(cfg.MaxTags + 1)
-		id := b.AddEntity(0, fmt.Sprintf("u%07d", i), yob, gen, tweets, int64(ntags))
-		if ntags > 0 {
-			tags := make([]int32, 0, ntags)
-			seen := make(map[int32]bool, ntags)
-			for len(tags) < ntags {
-				t := int32(tagPop.Sample(rng))
-				if !seen[t] {
-					seen[t] = true
-					tags = append(tags, t)
+	nShards := userShards(cfg.Users)
+	rngs := rng.Fork(nShards)
+	shards := make([]profileShard, nShards)
+	runTasks(cfg.Workers, nShards, func(s int) {
+		lo := s * genShardUsers
+		hi := min(lo+genShardUsers, cfg.Users)
+		r := rngs[s]
+		sh := &shards[s]
+		sh.label = make([]string, 0, hi-lo)
+		sh.scalar = make([][4]int64, 0, hi-lo)
+		sh.tags = make([][]int32, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			yob := int64(r.IntRange(cfg.YearMin, cfg.YearMax))
+			gen := int64(gender.Sample(r))
+			tweets := int64(r.LogUniformInt(0, cfg.TweetCountMax))
+			ntags := r.Intn(cfg.MaxTags + 1)
+			var tags []int32
+			if ntags > 0 {
+				tags = make([]int32, 0, ntags)
+				seen := make(map[int32]bool, ntags)
+				for len(tags) < ntags {
+					t := int32(tagPop.Sample(r))
+					if !seen[t] {
+						seen[t] = true
+						tags = append(tags, t)
+					}
 				}
 			}
-			b.SetSet(TagsAttr, id, tags)
+			sh.label = append(sh.label, fmt.Sprintf("u%07d", i))
+			sh.scalar = append(sh.scalar, [4]int64{yob, gen, tweets, int64(ntags)})
+			sh.tags = append(sh.tags, tags)
+		}
+	})
+	for s := range shards {
+		sh := &shards[s]
+		for i := range sh.label {
+			a := sh.scalar[i]
+			id := b.AddEntity(0, sh.label[i], a[0], a[1], a[2], a[3])
+			if len(sh.tags[i]) > 0 {
+				b.SetSet(TagsAttr, id, sh.tags[i])
+			}
 		}
 	}
 }
@@ -268,40 +410,47 @@ func placeCommunities(cfg Config, rng *randx.RNG) ([][]hin.EntityID, []bool, err
 	return comms, inCommunity, nil
 }
 
-// plantCommunity adds intra-community edges so that the induced subgraph on
-// members has exactly the spec'd Equation-4 density. The edge budget is
-// split evenly across link types (remainder to the earliest types) and each
-// type's edges follow a power-law out-degree profile within the block.
-func plantCommunity(b *hin.Builder, schema *hin.Schema, spec CommunitySpec, members []hin.EntityID, cfg Config, rng *randx.RNG) error {
+// planCommunity splits one planted community's Equation-4 edge budget
+// evenly across link types (remainder to the earliest types) and returns
+// one edge-sampling task per type, each bound to a stream pre-derived
+// from the community's stream. Budget validation happens here, before any
+// worker runs.
+func planCommunity(schema *hin.Schema, spec CommunitySpec, members []hin.EntityID, cfg Config, rng *randx.RNG) ([]*edgeTask, error) {
 	nTypes := schema.NumLinkTypes()
 	budget := int64(spec.Density*float64(hin.MaxEdges(schema, spec.Size)) + 0.5)
 	maxPerType := int64(spec.Size) * int64(spec.Size-1)
+	tasks := make([]*edgeTask, 0, nTypes)
 	for lt := 0; lt < nTypes; lt++ {
 		share := budget / int64(nTypes)
 		if int64(lt) < budget%int64(nTypes) {
 			share++
 		}
 		if share > maxPerType {
-			return fmt.Errorf("tqq: community density %g overfills link type %d", spec.Density, lt)
+			return nil, fmt.Errorf("tqq: community density %g overfills link type %d", spec.Density, lt)
 		}
-		if err := plantTypeEdges(b, schema, hin.LinkTypeID(lt), members, share, cfg, rng.Split(uint64(lt))); err != nil {
-			return err
-		}
+		ltid := hin.LinkTypeID(lt)
+		r := rng.Split(uint64(lt))
+		tasks = append(tasks, &edgeTask{
+			lt: ltid,
+			gen: func() ([]edge, error) {
+				return plantTypeEdges(schema, ltid, members, share, cfg, r)
+			},
+		})
 	}
-	return nil
+	return tasks, nil
 }
 
-// plantTypeEdges adds exactly budget edges of one link type among members.
-// A ZeroOutFrac share of members gets no out-edges of this type (induced
-// social-network samples always have a per-type isolated population); the
-// rest draw out-degree quotas from a power law whose exponent is solved so
-// the expected total meets the budget, preserving the real skew - a mass
-// of degree-1-and-2 users plus a heavy tail - at every density. Each
-// source gets distinct destinations, so no duplicates arise and the edge
-// count is exact after a small random repair.
-func plantTypeEdges(b *hin.Builder, schema *hin.Schema, lt hin.LinkTypeID, members []hin.EntityID, budget int64, cfg Config, rng *randx.RNG) error {
+// plantTypeEdges samples exactly budget edges of one link type among
+// members. A ZeroOutFrac share of members gets no out-edges of this type
+// (induced social-network samples always have a per-type isolated
+// population); the rest draw out-degree quotas from a power law whose
+// exponent is solved so the expected total meets the budget, preserving
+// the real skew - a mass of degree-1-and-2 users plus a heavy tail - at
+// every density. Each source gets distinct destinations, so no duplicates
+// arise and the edge count is exact after a small random repair.
+func plantTypeEdges(schema *hin.Schema, lt hin.LinkTypeID, members []hin.EntityID, budget int64, cfg Config, rng *randx.RNG) ([]edge, error) {
 	if budget == 0 {
-		return nil
+		return nil, nil
 	}
 	size := len(members)
 	// Decide the isolated fraction: keep the degree tail's shape fixed
@@ -311,7 +460,7 @@ func plantTypeEdges(b *hin.Builder, schema *hin.Schema, lt hin.LinkTypeID, membe
 	// floor, the tail is made heavier instead (powerLawWithMean).
 	tail, err := randx.NewPowerLaw(1, size-1, cfg.DegreeTailAlpha)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	wantMeanAll := float64(budget) / float64(size)
 	zeroFrac := 1 - wantMeanAll/tail.Mean()
@@ -339,7 +488,7 @@ func plantTypeEdges(b *hin.Builder, schema *hin.Schema, lt hin.LinkTypeID, membe
 	if wantMean > tail.Mean() {
 		pl, err = powerLawWithMean(size-1, wantMean)
 		if err != nil {
-			return err
+			return nil, err
 		}
 	}
 	quota := make([]int, size)
@@ -394,6 +543,7 @@ func plantTypeEdges(b *hin.Builder, schema *hin.Schema, lt hin.LinkTypeID, membe
 		tries++
 	}
 	weighted := schema.LinkType(lt).Weighted
+	out := make([]edge, 0, budget)
 	for i, q := range quota {
 		if q == 0 {
 			continue
@@ -409,22 +559,21 @@ func plantTypeEdges(b *hin.Builder, schema *hin.Schema, lt hin.LinkTypeID, membe
 			if weighted {
 				w = strength(cfg, rng)
 			}
-			if err := b.AddEdge(lt, src, members[dj], w); err != nil {
-				return err
-			}
+			out = append(out, edge{src: src, dst: members[dj], w: w})
 		}
 	}
-	return nil
+	return out, nil
 }
 
-// genBackground adds sparse power-law edges among all users. Edges whose
-// endpoints both lie inside the same community are skipped so planted
-// densities stay exact; community members still get background edges to
-// the outside, which is what makes de-anonymizing against the full
-// auxiliary network non-trivial.
-func genBackground(b *hin.Builder, schema *hin.Schema, cfg Config, inCommunity []bool, rng *randx.RNG) {
+// planBackground returns the sparse power-law background edge tasks: one
+// per (link type, user shard), each on a stream forked serially from the
+// stage stream. Edges whose endpoints both lie inside a community are
+// skipped so planted densities stay exact; community members still get
+// background edges to the outside, which is what makes de-anonymizing
+// against the full auxiliary network non-trivial.
+func planBackground(schema *hin.Schema, cfg Config, inCommunity []bool, rng *randx.RNG) []*edgeTask {
 	if cfg.Users < 2 || cfg.BackgroundAvgOutDeg <= 0 {
-		return
+		return nil
 	}
 	maxDeg := cfg.DegreeMax
 	if maxDeg > cfg.Users-1 {
@@ -435,34 +584,82 @@ func genBackground(b *hin.Builder, schema *hin.Schema, cfg Config, inCommunity [
 		panic(err)
 	}
 	scale := cfg.BackgroundAvgOutDeg / pl.Mean()
+	nShards := userShards(cfg.Users)
+	var tasks []*edgeTask
 	for lt := 0; lt < schema.NumLinkTypes(); lt++ {
-		ltr := rng.Split(uint64(lt))
-		weighted := schema.LinkType(hin.LinkTypeID(lt)).Weighted
-		for u := 0; u < cfg.Users; u++ {
-			deg := int(float64(pl.Sample(ltr))*scale + ltr.Float64())
-			for e := 0; e < deg; e++ {
-				v := ltr.Intn(cfg.Users)
-				if v == u {
-					continue
-				}
-				if inCommunity[u] && inCommunity[v] {
-					// May be the same community; keep planted densities
-					// exact by skipping all community-internal pairs.
-					continue
-				}
-				w := int32(1)
-				if weighted {
-					w = strength(cfg, ltr)
-				}
-				// Duplicate (u,v) pairs merge at Build; they are rare and
-				// merely nudge strengths, matching organic repeat
-				// interactions.
-				if err := b.AddEdge(hin.LinkTypeID(lt), hin.EntityID(u), hin.EntityID(v), w); err != nil {
-					panic(err) // endpoints are in range by construction
-				}
+		ltid := hin.LinkTypeID(lt)
+		weighted := schema.LinkType(ltid).Weighted
+		rngs := rng.Split(uint64(lt)).Fork(nShards)
+		for s := 0; s < nShards; s++ {
+			lo := s * genShardUsers
+			hi := min(lo+genShardUsers, cfg.Users)
+			r := rngs[s]
+			tasks = append(tasks, &edgeTask{
+				lt: ltid,
+				gen: func() ([]edge, error) {
+					return genBackgroundShard(cfg, inCommunity, weighted, lo, hi, pl, scale, r), nil
+				},
+			})
+		}
+	}
+	return tasks
+}
+
+// genBackgroundShard draws the background out-edges of users [lo, hi) for
+// one link type from the shard's private stream.
+func genBackgroundShard(cfg Config, inCommunity []bool, weighted bool, lo, hi int, pl *randx.PowerLaw, scale float64, rng *randx.RNG) []edge {
+	out := make([]edge, 0, int(float64(hi-lo)*cfg.BackgroundAvgOutDeg))
+	for u := lo; u < hi; u++ {
+		deg := int(float64(pl.Sample(rng))*scale + rng.Float64())
+		for e := 0; e < deg; e++ {
+			v := rng.Intn(cfg.Users)
+			if v == u {
+				continue
+			}
+			if inCommunity[u] && inCommunity[v] {
+				// May be the same community; keep planted densities
+				// exact by skipping all community-internal pairs.
+				continue
+			}
+			w := int32(1)
+			if weighted {
+				w = strength(cfg, rng)
+			}
+			// Duplicate (u,v) pairs merge at Build; they are rare and
+			// merely nudge strengths, matching organic repeat
+			// interactions.
+			out = append(out, edge{src: hin.EntityID(u), dst: hin.EntityID(v), w: w})
+		}
+	}
+	return out
+}
+
+// mergeEdges feeds every task's edges into the Builder under the
+// specified ordering invariant: link types ascending, each type's
+// concatenated buffers (community tasks first, then background shards,
+// both in creation order) stably sorted by (src, dst). Duplicate pairs
+// merge at Build by summing strengths, which is order-independent, so
+// this ordering is about making the AddEdge sequence reproducible and
+// reviewable rather than an accident of task layout.
+func mergeEdges(b *hin.Builder, schema *hin.Schema, tasks []*edgeTask) error {
+	perType := make([][]edge, schema.NumLinkTypes())
+	for _, t := range tasks {
+		perType[t.lt] = append(perType[t.lt], t.out...)
+	}
+	for lt, edges := range perType {
+		slices.SortStableFunc(edges, func(a, b edge) int {
+			if a.src != b.src {
+				return int(a.src) - int(b.src)
+			}
+			return int(a.dst) - int(b.dst)
+		})
+		for _, e := range edges {
+			if err := b.AddEdge(hin.LinkTypeID(lt), e.src, e.dst, e.w); err != nil {
+				return err
 			}
 		}
 	}
+	return nil
 }
 
 // powerLawWithMean builds a power-law sampler on [1, maxK] whose exponent
@@ -514,7 +711,14 @@ func strength(cfg Config, rng *randx.RNG) int32 {
 	return int32(s)
 }
 
-// genRecLog synthesizes items and the recommendation preference log.
+// recShard buffers one user shard's recommendation log entries.
+type recShard struct {
+	rec []RecEntry
+}
+
+// genRecLog synthesizes items and the recommendation preference log. Items
+// are deterministic; log entries are drawn per user shard from forked
+// streams and concatenated in shard order.
 func genRecLog(cfg Config, rng *randx.RNG) ([]Item, []RecEntry) {
 	if cfg.Items == 0 {
 		return nil, nil
@@ -533,21 +737,34 @@ func genRecLog(cfg Config, rng *randx.RNG) ([]Item, []RecEntry) {
 	if err != nil {
 		panic(err)
 	}
-	var rec []RecEntry
-	for u := 0; u < cfg.Users; u++ {
-		n := rng.Intn(2*cfg.RecPerUser + 1)
-		for i := 0; i < n; i++ {
-			rec = append(rec, RecEntry{
-				User:     hin.EntityID(u),
-				Item:     int32(pop.Sample(rng)),
-				Accepted: rng.Bool(0.3),
-			})
+	nShards := userShards(cfg.Users)
+	rngs := rng.Fork(nShards)
+	shards := make([]recShard, nShards)
+	runTasks(cfg.Workers, nShards, func(s int) {
+		lo := s * genShardUsers
+		hi := min(lo+genShardUsers, cfg.Users)
+		r := rngs[s]
+		for u := lo; u < hi; u++ {
+			n := r.Intn(2*cfg.RecPerUser + 1)
+			for i := 0; i < n; i++ {
+				shards[s].rec = append(shards[s].rec, RecEntry{
+					User:     hin.EntityID(u),
+					Item:     int32(pop.Sample(r)),
+					Accepted: r.Bool(0.3),
+				})
+			}
 		}
+	})
+	var rec []RecEntry
+	for s := range shards {
+		rec = append(rec, shards[s].rec...)
 	}
 	return items, rec
 }
 
-// sortEntityIDs sorts ids ascending in place.
+// sortEntityIDs sorts ids ascending in place. The order is part of the
+// generator's contract (Dataset.Communities lists members ascending), not
+// an incidental property of the sampler.
 func sortEntityIDs(ids []hin.EntityID) {
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 }
