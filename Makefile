@@ -2,8 +2,9 @@
 # dependencies; every target needs only the go toolchain.
 
 GO ?= go
+FUZZTIME ?= 30s
 
-.PHONY: build test verify bench benchdump
+.PHONY: build test verify fuzz bench benchdump
 
 build:
 	$(GO) build ./...
@@ -12,15 +13,22 @@ test:
 	$(GO) test ./...
 
 # verify is the CI gate: static checks plus the race-detector run over the
-# packages with real concurrency (the sharded generator and the parallel
-# workbench/registry). Keep it green before committing.
+# packages with real concurrency (the sharded generator, the parallel
+# workbench/registry, and the obs metrics registry). Keep it green before
+# committing.
 verify:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/experiments ./internal/tqq
+	$(GO) test -race ./internal/experiments ./internal/tqq ./internal/obs
+
+# fuzz runs each fuzz target for FUZZTIME (default 30s each). The committed
+# seed corpora under testdata/fuzz also run as plain tests in `make test`.
+fuzz:
+	$(GO) test -fuzz FuzzProfileSpecValidate -fuzztime $(FUZZTIME) -run '^$$' ./internal/dehin
+	$(GO) test -fuzz FuzzGenerateSmall -fuzztime $(FUZZTIME) -run '^$$' ./internal/tqq
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem
 
 # benchdump refreshes the committed benchmark snapshot (see BENCH_*.json).
 benchdump:
-	$(GO) run ./cmd/benchdump -pkg ./... -out BENCH_2.json
+	$(GO) run ./cmd/benchdump -pkg ./... -out BENCH_3.json

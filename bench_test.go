@@ -17,6 +17,7 @@ import (
 	"github.com/hinpriv/dehin/internal/dehin"
 	"github.com/hinpriv/dehin/internal/experiments"
 	"github.com/hinpriv/dehin/internal/hin"
+	"github.com/hinpriv/dehin/internal/obs"
 	"github.com/hinpriv/dehin/internal/randx"
 	"github.com/hinpriv/dehin/internal/tqq"
 )
@@ -391,6 +392,34 @@ func BenchmarkDeanonymizeSingle(b *testing.B) {
 	n := tg.NumEntities()
 	var dst []hin.EntityID
 	for tv := 0; tv < n; tv++ { // warm the pooled scratch past its high-water mark
+		dst = a.DeanonymizeAppend(dst[:0], tg, hin.EntityID(tv))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = a.DeanonymizeAppend(dst[:0], tg, hin.EntityID(i%n))
+	}
+}
+
+// BenchmarkDeanonymizeInstrumented is BenchmarkDeanonymizeSingle with a
+// live obs registry attached to the attack. The per-query events batch in
+// the scratch and flush once per query, so this must also stay 0 allocs/op
+// and within a few percent of the uninstrumented number (OBSERVABILITY.md
+// records the measured overhead; BENCH_3.json pins both series).
+func BenchmarkDeanonymizeInstrumented(b *testing.B) {
+	w := bench(b)
+	targets, err := w.Targets(len(w.Params.Densities) - 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tg := targets[0].Graph
+	a, err := w.Attack(dehin.Config{MaxDistance: 2, Metrics: obs.New()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := tg.NumEntities()
+	var dst []hin.EntityID
+	for tv := 0; tv < n; tv++ {
 		dst = a.DeanonymizeAppend(dst[:0], tg, hin.EntityID(tv))
 	}
 	b.ReportAllocs()

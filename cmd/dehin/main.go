@@ -21,6 +21,7 @@ import (
 	"github.com/hinpriv/dehin/internal/anonymize"
 	"github.com/hinpriv/dehin/internal/dehin"
 	"github.com/hinpriv/dehin/internal/hin"
+	"github.com/hinpriv/dehin/internal/obs"
 	"github.com/hinpriv/dehin/internal/randx"
 	"github.com/hinpriv/dehin/internal/tqq"
 )
@@ -36,6 +37,8 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "sampling/anonymization seed")
 		par       = flag.Int("parallelism", 0, "attack parallelism (0 = all cores)")
 		ranked    = flag.Int("ranked", 0, "also print the top-N ranked candidates for the first ambiguous target")
+		metrics   = flag.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :9090 or 127.0.0.1:0)")
+		metDump   = flag.String("metrics-dump", "", "write a final JSON metrics snapshot to this file")
 	)
 	flag.Parse()
 	if *auxDir == "" {
@@ -61,6 +64,18 @@ func main() {
 		truth[i] = tgt.Orig[t0]
 	}
 
+	var reg *obs.Registry
+	if *metrics != "" || *metDump != "" {
+		reg = obs.New()
+	}
+	if *metrics != "" {
+		ln, err := obs.Serve(*metrics, reg)
+		if err != nil {
+			fatalf("metrics listener: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics\n", ln.Addr())
+	}
+
 	cfg := dehin.Config{
 		MaxDistance:            *distance,
 		Profile:                dehin.TQQProfile(),
@@ -68,6 +83,7 @@ func main() {
 		RemoveMajorityStrength: *reconfig,
 		FallbackProfileOnly:    *fallback,
 		Parallelism:            *par,
+		Metrics:                reg,
 	}
 	if *links != "" {
 		for _, name := range strings.Split(*links, ",") {
@@ -119,6 +135,13 @@ func main() {
 			}
 			break
 		}
+	}
+
+	if *metDump != "" {
+		if err := reg.DumpJSON(*metDump); err != nil {
+			fatalf("metrics dump: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "metrics snapshot written to %s\n", *metDump)
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"github.com/hinpriv/dehin/internal/experiments"
+	"github.com/hinpriv/dehin/internal/obs"
 )
 
 func main() {
@@ -36,6 +37,8 @@ func main() {
 		parallel = flag.Int("parallel", 0, "pipeline workers: generator shards, release warm-up, concurrent experiments (0 = all cores, 1 = serial)")
 		timing   = flag.Bool("timing", false, "print per-experiment wall time and cache hit/miss counts to stderr")
 		outDir   = flag.String("out", "", "also write each table as CSV into this directory")
+		metrics  = flag.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :9090 or 127.0.0.1:0)")
+		metDump  = flag.String("metrics-dump", "", "write a final JSON metrics snapshot to this file")
 	)
 	flag.Parse()
 
@@ -76,6 +79,19 @@ func main() {
 	}
 	p.Parallelism = *par
 	p.Workers = *parallel
+
+	var reg *obs.Registry
+	if *metrics != "" || *metDump != "" {
+		reg = obs.New()
+		p.Metrics = reg
+	}
+	if *metrics != "" {
+		ln, err := obs.Serve(*metrics, reg)
+		if err != nil {
+			fatalf("metrics listener: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics\n", ln.Addr())
+	}
 
 	fmt.Printf("params: aux=%d target=%d samples/density=%d densities=%v distances=%v seed=%d\n\n",
 		p.AuxUsers, p.TargetSize, p.SamplesPerDensity, p.Densities, p.Distances, p.Seed)
@@ -124,6 +140,12 @@ func main() {
 			}
 			fmt.Printf("wrote %s\n", path)
 		}
+	}
+	if *metDump != "" {
+		if err := reg.DumpJSON(*metDump); err != nil {
+			fatalf("metrics dump: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "metrics snapshot written to %s\n", *metDump)
 	}
 	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))
 }

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"github.com/hinpriv/dehin/internal/hin"
+	"github.com/hinpriv/dehin/internal/obs"
 )
 
 // Config parameterizes the DeHIN attack.
@@ -63,6 +64,13 @@ type Config struct {
 	// Parallelism bounds concurrent target queries in Run; 0 means
 	// GOMAXPROCS.
 	Parallelism int
+	// Metrics attaches the attack to an observability registry
+	// (internal/obs): candidates considered, degree-pruned rejections,
+	// memo hits/misses, matcher invocations, and per-Run wall time. Nil
+	// (the default) disables instrumentation entirely; the query hot path
+	// then pays a single predictable branch per query (see DESIGN.md
+	// §5.2). Metric names are listed in OBSERVABILITY.md.
+	Metrics *obs.Registry
 }
 
 // Attack is a DeHIN attacker bound to one auxiliary graph. It is safe for
@@ -74,8 +82,9 @@ type Attack struct {
 	em      EntityMatcher
 	lm      LinkMatcher
 	index   *profileIndex
-	deg     *degSignature // nil when degree pruning is disabled
-	scratch sync.Pool     // *queryScratch
+	deg     *degSignature  // nil when degree pruning is disabled
+	met     *attackMetrics // nil when Config.Metrics is nil
+	scratch sync.Pool      // *queryScratch
 }
 
 // NewAttack prepares an attack against the given auxiliary graph.
@@ -96,7 +105,7 @@ func NewAttack(aux *hin.Graph, cfg Config) (*Attack, error) {
 			return nil, fmt.Errorf("dehin: link type %d out of range", lt)
 		}
 	}
-	a := &Attack{aux: aux, cfg: cfg}
+	a := &Attack{aux: aux, cfg: cfg, met: newAttackMetrics(cfg.Metrics)}
 	a.em = cfg.EntityMatch
 	if a.em == nil {
 		// The profile spec drives attribute reads on both graphs; validate
@@ -215,15 +224,32 @@ func (a *Attack) ensureMemo(s *queryScratch, target *hin.Graph) {
 // pair, so a table probe is substantially cheaper than re-evaluating it.
 func (a *Attack) emCached(s *queryScratch, target *hin.Graph, tb, ab hin.EntityID) bool {
 	if r, ok := s.memo.get(tb, ab, 0); ok {
+		s.stats.memoHits++
 		return r
 	}
 	r := a.em(target, a.aux, tb, ab)
 	s.memo.put(tb, ab, 0, r)
+	s.stats.memoMisses++
 	return r
 }
 
+// deanonymize is the per-query entry point: the uninstrumented core plus,
+// when a metrics registry is attached, one batched flush of the query's
+// scratch-local event tally. The disabled path costs exactly this one
+// predictable branch.
 func (a *Attack) deanonymize(s *queryScratch, dst []hin.EntityID, target *hin.Graph, tv hin.EntityID) []hin.EntityID {
+	if a.met == nil {
+		return a.deanonymizeCore(s, dst, target, tv)
+	}
+	s.stats = queryStats{}
+	dst = a.deanonymizeCore(s, dst, target, tv)
+	a.met.flush(&s.stats)
+	return dst
+}
+
+func (a *Attack) deanonymizeCore(s *queryScratch, dst []hin.EntityID, target *hin.Graph, tv hin.EntityID) []hin.EntityID {
 	profile := a.profileCandidates(s, target, tv)
+	s.stats.candidates += int64(len(profile))
 	if a.cfg.MaxDistance == 0 || len(profile) == 0 {
 		return append(dst, profile...)
 	}
@@ -239,6 +265,7 @@ func (a *Attack) deanonymize(s *queryScratch, dst []hin.EntityID, target *hin.Gr
 		// semantics identical (it still counts as a neighbor-stage
 		// elimination, not a profile-stage one).
 		if prune && !a.deg.admits(s.needs, av) {
+			s.stats.pruned++
 			continue
 		}
 		if a.linkMatch(s, target, a.cfg.MaxDistance, tv, av) {
@@ -246,6 +273,7 @@ func (a *Attack) deanonymize(s *queryScratch, dst []hin.EntityID, target *hin.Gr
 		}
 	}
 	if len(dst) == base && a.cfg.FallbackProfileOnly {
+		s.stats.fallbacks++
 		return append(dst, profile...)
 	}
 	return dst
@@ -298,10 +326,12 @@ func (a *Attack) quota(deg int) int {
 // memoized per (target, candidate, depth) across the whole query.
 func (a *Attack) linkMatch(s *queryScratch, target *hin.Graph, n int, tv, av hin.EntityID) bool {
 	if r, ok := s.memo.get(tv, av, n); ok {
+		s.stats.memoHits++
 		return r
 	}
 	res := a.linkMatchUncached(s, target, n, tv, av)
 	s.memo.put(tv, av, n, res)
+	s.stats.memoMisses++
 	return res
 }
 
@@ -367,6 +397,7 @@ func (a *Attack) directionMatch(s *queryScratch, target *hin.Graph, n int, tv, a
 		f.closeRow()
 	}
 	g := f.graph(len(ans))
+	s.stats.matcherRuns++
 	if need == len(tns) {
 		return s.matcher.HasPerfectLeftMatching(g)
 	}
@@ -448,6 +479,11 @@ func (a *Attack) Run(target *hin.Graph, truth []hin.EntityID) (Result, error) {
 	prepared, err := a.PrepareTarget(target)
 	if err != nil {
 		return Result{}, err
+	}
+	if a.met != nil {
+		a.met.runs.Inc()
+		t := a.met.runNs.Time()
+		defer t.Stop()
 	}
 	n := prepared.NumEntities()
 	out := Result{PerTarget: make([]TargetOutcome, n)}

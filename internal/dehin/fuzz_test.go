@@ -1,0 +1,65 @@
+package dehin
+
+import (
+	"math"
+	"testing"
+
+	"github.com/hinpriv/dehin/internal/hin"
+	"github.com/hinpriv/dehin/internal/tqq"
+)
+
+// FuzzProfileSpecValidate feeds arbitrary attribute-index lists through
+// validateProfileSpec against the t.qq target schema. The invariant is
+// twofold: validation never panics (NewAttack promises a clean error for
+// any misconfigured spec, however hostile), and it agrees with the
+// independent oracle below - a spec passes iff every scalar index fits
+// inside every entity type of the schema.
+func FuzzProfileSpecValidate(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 1, 1, 2, 2})       // the TQQProfile shape: exact 0, grow 1, set "x"
+	f.Add([]byte{0, 0xFF, 1, 0x80})       // far out of range, both roles
+	f.Add([]byte{0xFF, 0xFF, 0x80, 0x00}) // negative indexes
+	f.Add([]byte{2, 'x', 0, 3, 1, 200, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := tqq.TargetSchema()
+		var spec ProfileSpec
+		for i := 0; i+1 < len(data); i += 2 {
+			// Both bytes feed the value so negative and far-out-of-range
+			// indexes are reachable, not just 0..255.
+			v := int(int16(uint16(data[i])<<8 | uint16(data[i+1])))
+			switch data[i] % 3 {
+			case 0:
+				spec.ExactAttrs = append(spec.ExactAttrs, v)
+			case 1:
+				spec.GrowAttrs = append(spec.GrowAttrs, v)
+			case 2:
+				spec.SubsetSets = append(spec.SubsetSets, string(data[i+1:i+2]))
+			}
+		}
+
+		err := validateProfileSpec(s, spec)
+
+		// Oracle: an index is acceptable iff it is in range for EVERY
+		// entity type, i.e. below the smallest attribute count.
+		minAttrs := math.MaxInt
+		for ti := 0; ti < s.NumEntityTypes(); ti++ {
+			if n := len(s.EntityType(hin.EntityTypeID(ti)).Attrs); n < minAttrs {
+				minAttrs = n
+			}
+		}
+		valid := true
+		for _, ai := range spec.ExactAttrs {
+			valid = valid && ai >= 0 && ai < minAttrs
+		}
+		for _, ai := range spec.GrowAttrs {
+			valid = valid && ai >= 0 && ai < minAttrs
+		}
+
+		if valid && err != nil {
+			t.Fatalf("in-range spec rejected: %v (spec %+v)", err, spec)
+		}
+		if !valid && err == nil {
+			t.Fatalf("out-of-range spec accepted (spec %+v)", spec)
+		}
+	})
+}

@@ -26,6 +26,11 @@ type queryScratch struct {
 	frames     []adjFrame
 	cand       []hin.EntityID // profile candidate buffer
 	needs      []int32        // per-(link type, direction) quota of the current target entity
+	// stats tallies this query's instrumentation events as plain local
+	// integers; Attack.deanonymize flushes them to the shared atomic
+	// counters once per query when metrics are enabled (and never reads
+	// them otherwise - see metrics.go).
+	stats queryStats
 }
 
 // frame returns the adjacency frame for recursion depth n (1-based).

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"github.com/hinpriv/dehin/internal/hin"
+	"github.com/hinpriv/dehin/internal/obs"
 	"github.com/hinpriv/dehin/internal/tqq"
 )
 
@@ -43,6 +44,14 @@ type Params struct {
 	// forces the fully serial pipeline. Results are identical for every
 	// value.
 	Workers int
+	// Metrics, when non-nil, attaches the whole pipeline to an obs
+	// registry: generator stage timings, workbench cache traffic, attack
+	// pruning counters, and per-experiment wall-time histograms. Nil (the
+	// default) leaves the attack hot path uninstrumented; the workbench
+	// still tracks cache statistics on a private registry so Stats()
+	// always works. Metrics never influence results - no random stream
+	// ever observes them.
+	Metrics *obs.Registry
 }
 
 // DefaultParams returns the committed configuration: every paper shape is

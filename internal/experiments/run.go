@@ -315,7 +315,12 @@ func RunAllTimed(sink io.Writer, p Params) ([]*Table, []ExperimentTiming, CacheS
 	go runLimited(p.Workers, len(runAllOrder), func(i int) {
 		start := time.Now()
 		tbl, err := compute[runAllOrder[i]]()
-		results[i] = slotResult{tbl: tbl, err: err, elapsed: time.Since(start)}
+		elapsed := time.Since(start)
+		// One histogram per experiment id; under concurrency the slots
+		// overlap, so these record per-slot wall time, not suite time.
+		p.Metrics.Histogram("experiments_run_ns", "id", runAllOrder[i]).
+			Observe(elapsed.Nanoseconds())
+		results[i] = slotResult{tbl: tbl, err: err, elapsed: elapsed}
 		close(done[i])
 	})
 

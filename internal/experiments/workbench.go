@@ -11,6 +11,7 @@ import (
 	"github.com/hinpriv/dehin/internal/anonymize"
 	"github.com/hinpriv/dehin/internal/dehin"
 	"github.com/hinpriv/dehin/internal/hin"
+	"github.com/hinpriv/dehin/internal/obs"
 	"github.com/hinpriv/dehin/internal/randx"
 	"github.com/hinpriv/dehin/internal/tqq"
 )
@@ -41,6 +42,10 @@ type Workbench struct {
 	mu        sync.Mutex
 	attacks   map[string]*attackSlot
 
+	// obs is never nil: Params.Metrics when provided, else a private
+	// registry, so the cache counters (and Stats) work with or without an
+	// exposed metrics endpoint.
+	obs   *obs.Registry
 	stats cacheCounters
 }
 
@@ -65,10 +70,23 @@ type attackSlot struct {
 	err  error
 }
 
+// cacheCounters are the workbench's resolved obs handles. The counter
+// names are part of the exposed metric surface (see OBSERVABILITY.md).
 type cacheCounters struct {
-	targetHits, targetMisses atomic.Int64
-	cgaHits, cgaMisses       atomic.Int64
-	attackHits, attackMisses atomic.Int64
+	targetHits, targetMisses *obs.Counter
+	cgaHits, cgaMisses       *obs.Counter
+	attackHits, attackMisses *obs.Counter
+}
+
+func newCacheCounters(r *obs.Registry) cacheCounters {
+	return cacheCounters{
+		targetHits:   r.Counter("workbench_target_cache_hits_total"),
+		targetMisses: r.Counter("workbench_target_cache_misses_total"),
+		cgaHits:      r.Counter("workbench_cga_cache_hits_total"),
+		cgaMisses:    r.Counter("workbench_cga_cache_misses_total"),
+		attackHits:   r.Counter("workbench_attack_cache_hits_total"),
+		attackMisses: r.Counter("workbench_attack_cache_misses_total"),
+	}
 }
 
 // CacheStats is a point-in-time snapshot of the workbench artifact cache.
@@ -80,17 +98,26 @@ type CacheStats struct {
 	AttackHits, AttackMisses int64
 }
 
-// Stats snapshots the cache counters.
+// Stats snapshots the cache counters. The view is built from one
+// stabilized registry snapshot (obs.Registry.Snapshot reads until two
+// passes agree), not from six independent atomic loads, so a snapshot
+// taken mid-run is internally consistent whenever the cache quiesces even
+// briefly and is always monotone against earlier snapshots.
 func (w *Workbench) Stats() CacheStats {
+	s := w.obs.Snapshot()
 	return CacheStats{
-		TargetHits:   w.stats.targetHits.Load(),
-		TargetMisses: w.stats.targetMisses.Load(),
-		CGAHits:      w.stats.cgaHits.Load(),
-		CGAMisses:    w.stats.cgaMisses.Load(),
-		AttackHits:   w.stats.attackHits.Load(),
-		AttackMisses: w.stats.attackMisses.Load(),
+		TargetHits:   s.Counter("workbench_target_cache_hits_total"),
+		TargetMisses: s.Counter("workbench_target_cache_misses_total"),
+		CGAHits:      s.Counter("workbench_cga_cache_hits_total"),
+		CGAMisses:    s.Counter("workbench_cga_cache_misses_total"),
+		AttackHits:   s.Counter("workbench_attack_cache_hits_total"),
+		AttackMisses: s.Counter("workbench_attack_cache_misses_total"),
 	}
 }
+
+// Metrics returns the registry the workbench records into: the one from
+// Params.Metrics, or the workbench-private registry when none was given.
+func (w *Workbench) Metrics() *obs.Registry { return w.obs }
 
 // String renders the snapshot as one stderr-friendly line.
 func (s CacheStats) String() string {
@@ -107,8 +134,13 @@ func NewWorkbench(p Params) (*Workbench, error) {
 	if err := p.validate(); err != nil {
 		return nil, err
 	}
+	reg := p.Metrics
+	if reg == nil {
+		reg = obs.New()
+	}
 	cfg := tqq.DefaultConfig(p.AuxUsers, p.Seed)
 	cfg.Workers = p.Workers
+	cfg.Metrics = reg
 	byDensity := make([][]int, len(p.Densities))
 	for i, d := range p.Densities {
 		for s := 0; s < p.SamplesPerDensity; s++ {
@@ -134,6 +166,8 @@ func NewWorkbench(p Params) (*Workbench, error) {
 		byDensity: byDensity,
 		targets:   make([]targetSlot, len(cfg.Communities)),
 		attacks:   make(map[string]*attackSlot),
+		obs:       reg,
+		stats:     newCacheCounters(reg),
 	}
 	for vw := range w.completed {
 		w.completed[vw] = make([]targetSlot, len(cfg.Communities))
@@ -310,6 +344,12 @@ func (w *Workbench) Attack(cfg dehin.Config) (*dehin.Attack, error) {
 	if cfg.Parallelism == 0 {
 		cfg.Parallelism = w.Params.Parallelism
 	}
+	if cfg.Metrics == nil {
+		// Instrument attacks only when the caller asked for an exposed
+		// registry: the private workbench registry records cache traffic
+		// (cold path) but must not tax the query hot path by default.
+		cfg.Metrics = w.Params.Metrics
+	}
 	if cfg.EntityMatch != nil || cfg.LinkMatch != nil {
 		return dehin.NewAttack(w.Dataset.Graph, cfg)
 	}
@@ -342,9 +382,10 @@ func attackKey(cfg dehin.Config) string {
 	}
 	sort.Ints(lts)
 	var b strings.Builder
-	fmt.Fprintf(&b, "n=%d lt=%v maj=%t fb=%t in=%t tol=%g idx=%t par=%d",
+	fmt.Fprintf(&b, "n=%d lt=%v maj=%t fb=%t in=%t tol=%g idx=%t par=%d met=%p",
 		cfg.MaxDistance, lts, cfg.RemoveMajorityStrength, cfg.FallbackProfileOnly,
-		cfg.UseInEdges, cfg.NeighborTolerance, cfg.UseIndex, cfg.Parallelism)
+		cfg.UseInEdges, cfg.NeighborTolerance, cfg.UseIndex, cfg.Parallelism,
+		cfg.Metrics)
 	return b.String()
 }
 

@@ -1,0 +1,241 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+)
+
+// Snapshot is a point-in-time copy of every metric in a registry,
+// suitable for JSON encoding, expvar publishing, or asserting in tests.
+type Snapshot struct {
+	Counters   map[string]int64        `json:"counters"`
+	Histograms map[string]HistSnapshot `json:"histograms"`
+}
+
+// HistSnapshot is one histogram's copied state. Buckets lists only the
+// non-empty buckets (raw, not cumulative) by their inclusive upper bound.
+type HistSnapshot struct {
+	Count   int64    `json:"count"`
+	Sum     int64    `json:"sum"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Bucket is one non-empty histogram bucket.
+type Bucket struct {
+	UpperBound int64 `json:"le"`
+	Count      int64 `json:"count"`
+}
+
+// Counter returns the snapshotted value of the named series (0 when
+// absent), so views over a snapshot read consistently instead of
+// re-loading live atomics one by one.
+func (s Snapshot) Counter(id string) int64 { return s.Counters[id] }
+
+// Snapshot copies every metric. Writers are never blocked - metrics stay
+// lock-free - so a snapshot taken mid-run cannot be a single atomic cut;
+// instead the registry is read repeatedly until two consecutive passes
+// observe identical values (a quiescent-point read), giving an internally
+// consistent snapshot whenever writers pause even briefly. Under sustained
+// writer pressure the read is capped at snapshotAttempts passes and the
+// last pass is returned: every individual value is then still a real value
+// the metric held during the call, and all values are monotone, so
+// successive snapshots never move backwards.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{Counters: map[string]int64{}, Histograms: map[string]HistSnapshot{}}
+	}
+	prev := r.readPass()
+	for i := 0; i < snapshotAttempts-1; i++ {
+		cur := r.readPass()
+		if passesEqual(prev, cur) {
+			break
+		}
+		prev = cur
+	}
+	return prev.toSnapshot()
+}
+
+const snapshotAttempts = 4
+
+// pass is one raw read of every metric, in a deterministic order so two
+// passes can be compared cheaply.
+type pass struct {
+	counterIDs []string
+	counters   []int64
+	histIDs    []string
+	hists      [][NumBuckets + 1]int64 // buckets then sum
+}
+
+func (r *Registry) readPass() pass {
+	r.mu.Lock()
+	var p pass
+	p.counterIDs = make([]string, 0, len(r.counters))
+	for id := range r.counters {
+		p.counterIDs = append(p.counterIDs, id)
+	}
+	p.histIDs = make([]string, 0, len(r.hists))
+	for id := range r.hists {
+		p.histIDs = append(p.histIDs, id)
+	}
+	counters := make([]*Counter, len(p.counterIDs))
+	hists := make([]*Histogram, len(p.histIDs))
+	sort.Strings(p.counterIDs)
+	sort.Strings(p.histIDs)
+	for i, id := range p.counterIDs {
+		counters[i] = r.counters[id]
+	}
+	for i, id := range p.histIDs {
+		hists[i] = r.hists[id]
+	}
+	r.mu.Unlock()
+
+	p.counters = make([]int64, len(counters))
+	for i, c := range counters {
+		p.counters[i] = c.Value()
+	}
+	p.hists = make([][NumBuckets + 1]int64, len(hists))
+	for i, h := range hists {
+		for b := 0; b < NumBuckets; b++ {
+			p.hists[i][b] = h.counts[b].Load()
+		}
+		p.hists[i][NumBuckets] = h.sum.Load()
+	}
+	return p
+}
+
+func passesEqual(a, b pass) bool {
+	if len(a.counters) != len(b.counters) || len(a.hists) != len(b.hists) {
+		return false
+	}
+	for i := range a.counters {
+		if a.counters[i] != b.counters[i] || a.counterIDs[i] != b.counterIDs[i] {
+			return false
+		}
+	}
+	for i := range a.hists {
+		if a.hists[i] != b.hists[i] || a.histIDs[i] != b.histIDs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (p pass) toSnapshot() Snapshot {
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(p.counters)),
+		Histograms: make(map[string]HistSnapshot, len(p.hists)),
+	}
+	for i, id := range p.counterIDs {
+		s.Counters[id] = p.counters[i]
+	}
+	for i, id := range p.histIDs {
+		var hs HistSnapshot
+		hs.Sum = p.hists[i][NumBuckets]
+		for b := 0; b < NumBuckets; b++ {
+			if c := p.hists[i][b]; c > 0 {
+				hs.Count += c
+				hs.Buckets = append(hs.Buckets, Bucket{UpperBound: BucketUpperBound(b), Count: c})
+			}
+		}
+		s.Histograms[id] = hs
+	}
+	return s
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): one # TYPE line per family, series sorted, and
+// histograms expanded into cumulative _bucket/_sum/_count series with
+// power-of-two le bounds. Families are emitted counters first, then
+// histograms, each alphabetically, so output is deterministic.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	p := r.Snapshot()
+
+	counterIDs := sortedKeys(p.Counters)
+	lastFamily := ""
+	for _, id := range counterIDs {
+		family, labels := splitSeries(id)
+		if family != lastFamily {
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", family); err != nil {
+				return err
+			}
+			lastFamily = family
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", family, labels, p.Counters[id]); err != nil {
+			return err
+		}
+	}
+
+	histIDs := sortedKeys(p.Histograms)
+	lastFamily = ""
+	for _, id := range histIDs {
+		family, labels := splitSeries(id)
+		if family != lastFamily {
+			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", family); err != nil {
+				return err
+			}
+			lastFamily = family
+		}
+		h := p.Histograms[id]
+		var cum int64
+		for _, b := range h.Buckets {
+			cum += b.Count
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+				family, withLE(labels, strconv.FormatInt(b.UpperBound, 10)), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", family, withLE(labels, "+Inf"), h.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", family, labels, h.Sum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count%s %d\n", family, labels, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// withLE merges the reserved le label into an existing (possibly empty)
+// label block.
+func withLE(labels, le string) string {
+	if labels == "" {
+		return `{le="` + le + `"}`
+	}
+	return labels[:len(labels)-1] + `,le="` + le + `"}`
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WriteJSON renders the snapshot as indented JSON (the -metrics-dump
+// format archived next to BENCH_*.json).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// DumpJSON writes the snapshot to a file.
+func (r *Registry) DumpJSON(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

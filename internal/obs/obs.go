@@ -1,0 +1,313 @@
+// Package obs is the repository's zero-dependency instrumentation layer:
+// atomic counters, fixed-bucket power-of-two histograms, and stage timers
+// collected in a named Registry with Prometheus-text and JSON exposition
+// (see expose.go) plus an optional HTTP endpoint (see http.go).
+//
+// The package is built for hot paths that must stay allocation-free:
+//
+//   - Every method on Counter, Histogram, and Timer is safe on a nil
+//     receiver and costs exactly one predictable branch when nil. Code
+//     instruments itself unconditionally and disables the whole layer by
+//     holding nil handles (the result of looking up a metric on a nil
+//     Registry), so the uninstrumented path never pays an atomic, a map
+//     probe, or a time.Now call.
+//   - Observe, Inc, and Add never allocate: histograms use a fixed array
+//     of power-of-two buckets and counters are a single atomic word.
+//     Metric construction (Registry lookups) is the only allocating
+//     operation and belongs in setup code, not per-query code.
+//
+// All mutation is atomic, so one Registry may be hammered from any number
+// of goroutines; Snapshot provides a read that is stable against
+// concurrent writers (see expose.go).
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// ready to use; a nil *Counter is a no-op on every method.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n (negative deltas are ignored: counters are monotone).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value loads the current count; 0 on a nil counter.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// NumBuckets is the fixed histogram resolution: bucket i counts observed
+// values whose uint64 bit length is i, i.e. bucket 0 holds the value 0 and
+// bucket i>0 holds [2^(i-1), 2^i - 1]. 64 buckets cover every non-negative
+// int64, so Observe never needs a bounds branch beyond the clamp for
+// negatives.
+const NumBuckets = 64
+
+// Histogram is a fixed power-of-two-bucket histogram of non-negative
+// int64 observations (typically nanoseconds or sizes). The zero value is
+// ready to use; a nil *Histogram is a no-op on every method.
+type Histogram struct {
+	counts [NumBuckets]atomic.Int64
+	sum    atomic.Int64
+}
+
+// Observe records v. Negative values clamp to 0 (they only arise from
+// clock anomalies) so the bucket index stays in range without error
+// handling on the hot path.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bits.Len64(uint64(v))].Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	var n int64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Timer measures one stage and records the elapsed nanoseconds into a
+// histogram. The zero Timer (from a nil histogram) is a no-op and its
+// construction performs no clock read, so a disabled stage timer costs one
+// branch at start and one at stop.
+type Timer struct {
+	h     *Histogram
+	start time.Time
+}
+
+// Time starts a stage timer bound to h.
+func (h *Histogram) Time() Timer {
+	if h == nil {
+		return Timer{}
+	}
+	return Timer{h: h, start: time.Now()}
+}
+
+// Stop records the elapsed time since Time.
+func (t Timer) Stop() {
+	if t.h == nil {
+		return
+	}
+	t.h.Observe(time.Since(t.start).Nanoseconds())
+}
+
+// Registry is a named collection of counters and histograms. Lookups are
+// idempotent - asking for the same (name, labels) twice returns the same
+// metric - so packages can resolve their handles independently and share
+// series. A nil *Registry returns nil handles, which is how instrumented
+// code runs disabled. Construction takes a mutex and allocates; resolve
+// handles at setup time, not per operation.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns (registering on first use) the counter with the given
+// name and optional label key/value pairs. Nil registry returns nil.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	id := seriesID(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[id]
+	if !ok {
+		if _, dup := r.hists[id]; dup {
+			panic(fmt.Sprintf("obs: %q already registered as a histogram", id))
+		}
+		c = &Counter{}
+		r.counters[id] = c
+	}
+	return c
+}
+
+// Histogram returns (registering on first use) the histogram with the
+// given name and optional label key/value pairs. Nil registry returns nil.
+func (r *Registry) Histogram(name string, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	id := seriesID(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[id]
+	if !ok {
+		if _, dup := r.counters[id]; dup {
+			panic(fmt.Sprintf("obs: %q already registered as a counter", id))
+		}
+		h = &Histogram{}
+		r.hists[id] = h
+	}
+	return h
+}
+
+// seriesID canonicalizes a metric name plus label pairs into the series
+// key used for registration and exposition: name{k1="v1",k2="v2"} with
+// labels sorted by key, Prometheus-escaped.
+func seriesID(name string, labels []string) string {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	if len(labels) == 0 {
+		return name
+	}
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("obs: odd label list for %q: %v", name, labels))
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		if !validLabelName(labels[i]) {
+			panic(fmt.Sprintf("obs: invalid label name %q for %q", labels[i], name))
+		}
+		pairs = append(pairs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(p.v))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// splitSeries splits a series key back into family name and the label
+// block (including braces; empty when unlabeled).
+func splitSeries(id string) (family, labels string) {
+	if i := strings.IndexByte(id, '{'); i >= 0 {
+		return id[:i], id[i:]
+	}
+	return id, ""
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || s == "le" { // le is reserved for histogram buckets
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// escapeLabelValue applies the Prometheus text-format escaping rules.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// BucketUpperBound returns the inclusive upper bound of histogram bucket
+// i, i.e. 2^i - 1 (bucket 0 holds only the value 0). The last bucket's
+// bound is math.MaxInt64.
+func BucketUpperBound(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 63 {
+		return int64(^uint64(0) >> 1)
+	}
+	return int64(1)<<i - 1
+}

@@ -1,0 +1,233 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total")
+	h := r.Histogram("y_ns")
+	if c != nil || h != nil {
+		t.Fatal("nil registry must hand out nil metrics")
+	}
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter value")
+	}
+	h.Observe(3)
+	tm := h.Time()
+	tm.Stop()
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil histogram observed something")
+	}
+	s := r.Snapshot()
+	if len(s.Counters) != 0 || len(s.Histograms) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+}
+
+func TestCounterAndIdempotentLookup(t *testing.T) {
+	r := New()
+	a := r.Counter("req_total", "kind", "a")
+	b := r.Counter("req_total", "kind", "b")
+	if a == b {
+		t.Fatal("distinct labels must be distinct series")
+	}
+	if again := r.Counter("req_total", "kind", "a"); again != a {
+		t.Fatal("same series must return the same counter")
+	}
+	a.Inc()
+	a.Add(2)
+	a.Add(-7) // ignored: monotone
+	b.Add(10)
+	if a.Value() != 3 || b.Value() != 10 {
+		t.Fatalf("got %d / %d", a.Value(), b.Value())
+	}
+}
+
+func TestLabelOrderCanonicalized(t *testing.T) {
+	r := New()
+	a := r.Counter("x_total", "b", "2", "a", "1")
+	b := r.Counter("x_total", "a", "1", "b", "2")
+	if a != b {
+		t.Fatal("label order must not create a second series")
+	}
+	s := r.Snapshot()
+	if _, ok := s.Counters[`x_total{a="1",b="2"}`]; !ok {
+		t.Fatalf("canonical id missing: %v", s.Counters)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat_ns")
+	for _, v := range []int64{0, 1, 2, 3, 4, 1023, 1024, -5} {
+		h.Observe(v)
+	}
+	if h.Count() != 8 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Sum() != 0+1+2+3+4+1023+1024+0 {
+		t.Fatalf("sum = %d", h.Sum())
+	}
+	s := r.Snapshot().Histograms["lat_ns"]
+	want := map[int64]int64{
+		0:    2, // 0 and the clamped -5
+		1:    1, // 1
+		3:    2, // 2, 3
+		7:    1, // 4
+		1023: 1,
+		2047: 1, // 1024
+	}
+	if len(s.Buckets) != len(want) {
+		t.Fatalf("buckets = %+v", s.Buckets)
+	}
+	for _, b := range s.Buckets {
+		if want[b.UpperBound] != b.Count {
+			t.Fatalf("bucket %d = %d, want %d", b.UpperBound, b.Count, want[b.UpperBound])
+		}
+	}
+}
+
+func TestBucketUpperBound(t *testing.T) {
+	cases := []struct {
+		i    int
+		want int64
+	}{{0, 0}, {1, 1}, {2, 3}, {10, 1023}, {63, int64(^uint64(0) >> 1)}}
+	for _, c := range cases {
+		if got := BucketUpperBound(c.i); got != c.want {
+			t.Errorf("BucketUpperBound(%d) = %d, want %d", c.i, got, c.want)
+		}
+	}
+}
+
+func TestTimerObservesElapsed(t *testing.T) {
+	r := New()
+	h := r.Histogram("stage_ns")
+	tm := h.Time()
+	time.Sleep(2 * time.Millisecond)
+	tm.Stop()
+	if h.Count() != 1 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Sum() < (1 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("sum = %dns, expected >= 1ms", h.Sum())
+	}
+}
+
+func TestWritePrometheusWellFormed(t *testing.T) {
+	r := New()
+	r.Counter("attack_pruned_total").Add(7)
+	r.Counter("runs_total", "id", "table1").Inc()
+	r.Counter("runs_total", "id", "table2").Add(2)
+	h := r.Histogram("run_ns", "id", "table1")
+	h.Observe(100)
+	h.Observe(3000)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	for _, want := range []string{
+		"# TYPE attack_pruned_total counter\n",
+		"attack_pruned_total 7\n",
+		"# TYPE runs_total counter\n",
+		`runs_total{id="table1"} 1` + "\n",
+		`runs_total{id="table2"} 2` + "\n",
+		"# TYPE run_ns histogram\n",
+		`run_ns_bucket{id="table1",le="127"} 1` + "\n",
+		`run_ns_bucket{id="table1",le="4095"} 2` + "\n",
+		`run_ns_bucket{id="table1",le="+Inf"} 2` + "\n",
+		`run_ns_sum{id="table1"} 3100` + "\n",
+		`run_ns_count{id="table1"} 2` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+	// One TYPE line per family even with several series.
+	if strings.Count(out, "# TYPE runs_total counter") != 1 {
+		t.Errorf("duplicate TYPE lines:\n%s", out)
+	}
+	// Deterministic: a second render is byte-identical.
+	var sb2 strings.Builder
+	if err := r.WritePrometheus(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb2.String() != out {
+		t.Error("exposition output not deterministic")
+	}
+}
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	r := New()
+	r.Counter("c_total").Add(3)
+	r.Histogram("h_ns").Observe(42)
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal([]byte(sb.String()), &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Counters["c_total"] != 3 {
+		t.Fatalf("counters = %v", s.Counters)
+	}
+	hs := s.Histograms["h_ns"]
+	if hs.Count != 1 || hs.Sum != 42 {
+		t.Fatalf("histogram = %+v", hs)
+	}
+}
+
+func TestServeEndpoints(t *testing.T) {
+	r := New()
+	r.Counter("served_total").Inc()
+	ln, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	base := "http://" + ln.Addr().String()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != 200 || !strings.Contains(body, "served_total 1") {
+		t.Fatalf("/metrics = %d %q", code, body)
+	}
+	code, body = get("/debug/vars")
+	if code != 200 || !strings.Contains(body, `"obs"`) {
+		t.Fatalf("/debug/vars = %d, missing obs bridge: %.200s", code, body)
+	}
+	code, _ = get("/debug/pprof/cmdline")
+	if code != 200 {
+		t.Fatalf("/debug/pprof/cmdline = %d", code)
+	}
+}
+
+func TestSnapshotCounterView(t *testing.T) {
+	r := New()
+	r.Counter("a_total").Add(4)
+	s := r.Snapshot()
+	if s.Counter("a_total") != 4 || s.Counter("missing_total") != 0 {
+		t.Fatalf("snapshot view: %v", s.Counters)
+	}
+}

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentExactTotals hammers one counter, one histogram, and the
+// registry lookup path from GOMAXPROCS goroutines and asserts the totals
+// are exact - the metrics are plain atomics, so not a single increment may
+// be lost. Run under -race via `make verify`.
+func TestConcurrentExactTotals(t *testing.T) {
+	r := New()
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	const perWorker = 5000
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Resolve handles inside the goroutine: the lookup path must
+			// be safe concurrently with other lookups and with writes.
+			c := r.Counter("hammer_total")
+			h := r.Histogram("hammer_ns")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				c.Add(2)
+				h.Observe(int64(i % 1024))
+				if i%64 == 0 {
+					// Interleave snapshots with writes.
+					_ = r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	wantCount := int64(workers * perWorker)
+	if got := r.Counter("hammer_total").Value(); got != 3*wantCount {
+		t.Fatalf("counter = %d, want %d", got, 3*wantCount)
+	}
+	h := r.Histogram("hammer_ns")
+	if got := h.Count(); got != wantCount {
+		t.Fatalf("histogram count = %d, want %d", got, wantCount)
+	}
+	var wantSum int64
+	for i := 0; i < perWorker; i++ {
+		wantSum += int64(i % 1024)
+	}
+	wantSum *= int64(workers)
+	if got := h.Sum(); got != wantSum {
+		t.Fatalf("histogram sum = %d, want %d", got, wantSum)
+	}
+
+	// The settled snapshot must agree exactly with the live values.
+	s := r.Snapshot()
+	if s.Counter("hammer_total") != 3*wantCount {
+		t.Fatalf("snapshot counter = %d", s.Counter("hammer_total"))
+	}
+	hs := s.Histograms["hammer_ns"]
+	if hs.Count != wantCount || hs.Sum != wantSum {
+		t.Fatalf("snapshot histogram = %+v", hs)
+	}
+}
+
+// TestSnapshotMonotone asserts that successive snapshots taken while
+// writers are running never observe a counter moving backwards.
+func TestSnapshotMonotone(t *testing.T) {
+	r := New()
+	c := r.Counter("mono_total")
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					c.Inc()
+				}
+			}
+		}()
+	}
+	var last int64
+	for i := 0; i < 200; i++ {
+		v := r.Snapshot().Counter("mono_total")
+		if v < last {
+			t.Fatalf("snapshot went backwards: %d -> %d", last, v)
+		}
+		last = v
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,50 @@
+package tqq
+
+import "testing"
+
+// FuzzGenerateSmall drives the sharded generator with arbitrary small
+// configurations and checks the package's central determinism contract on
+// each: Generate(cfg) is byte-identical (full dataset fingerprint) for
+// Workers=1 and Workers=4, and the two runs agree on whether the
+// configuration is rejected at all. Sizes are clamped to one shard
+// (<= 200 users) so individual fuzz executions stay fast; the multi-shard
+// regime is pinned by TestGenerateParallelEquivalence.
+func FuzzGenerateSmall(f *testing.F) {
+	f.Add(uint64(1), uint16(50), byte(128), byte(10))
+	f.Add(uint64(42), uint16(0), byte(0), byte(0)) // minimum: 2 users, no community
+	f.Add(uint64(7), uint16(198), byte(255), byte(40))
+	f.Add(uint64(9), uint16(30), byte(5), byte(255)) // community larger than the network: must error
+	f.Fuzz(func(t *testing.T, seed uint64, usersRaw uint16, densB, commB byte) {
+		users := 2 + int(usersRaw)%199 // 2..200
+		cfg := DefaultConfig(users, seed)
+		if commB >= 2 {
+			// Density spans [~0.001, ~0.2] including Equation-4 boundary
+			// values; oversized communities (commB > users) exercise the
+			// validation path, which must fail identically at every
+			// worker count.
+			cfg.Communities = []CommunitySpec{
+				{Size: int(commB), Density: 0.001 + float64(densB)/255.0*0.2},
+			}
+		}
+
+		run := func(workers int) (ok bool, fp [32]byte, msg string) {
+			c := cfg
+			c.Workers = workers
+			d, err := Generate(c)
+			if err != nil {
+				return false, fp, err.Error()
+			}
+			return true, fingerprint(d), ""
+		}
+
+		ok1, fp1, err1 := run(1)
+		ok4, fp4, err4 := run(4)
+		if ok1 != ok4 || err1 != err4 {
+			t.Fatalf("Workers=1 vs 4 disagree on validity: (%v %q) vs (%v %q)", ok1, err1, ok4, err4)
+		}
+		if ok1 && fp1 != fp4 {
+			t.Fatalf("Workers=1 and Workers=4 datasets differ (users=%d comm=%d dens=%d seed=%d)",
+				users, commB, densB, seed)
+		}
+	})
+}

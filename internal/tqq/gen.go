@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"github.com/hinpriv/dehin/internal/hin"
+	"github.com/hinpriv/dehin/internal/obs"
 	"github.com/hinpriv/dehin/internal/randx"
 )
 
@@ -91,6 +92,14 @@ type Config struct {
 	// number of recommendation log entries per user.
 	Items      int
 	RecPerUser int
+
+	// Metrics attaches the generator to an observability registry
+	// (internal/obs): run/user/edge counters, whole-run wall time, and a
+	// per-task latency histogram labeled by stage (profiles, edges,
+	// reclog). Nil disables instrumentation. Metrics never touch the
+	// random streams, so the generated dataset stays byte-identical with
+	// and without a registry.
+	Metrics *obs.Registry
 }
 
 // DefaultConfig returns a configuration calibrated to the paper's reported
@@ -179,6 +188,12 @@ func Generate(cfg Config) (*Dataset, error) {
 	if err := validate(&cfg); err != nil {
 		return nil, err
 	}
+	if cfg.Metrics != nil {
+		cfg.Metrics.Counter("tqq_generate_runs_total").Inc()
+		cfg.Metrics.Counter("tqq_generate_users_total").Add(int64(cfg.Users))
+		t := cfg.Metrics.Histogram("tqq_generate_ns").Time()
+		defer t.Stop()
+	}
 	rng := randx.New(cfg.Seed)
 	schema := TargetSchema()
 	b := hin.NewBuilder(schema)
@@ -205,14 +220,22 @@ func Generate(cfg Config) (*Dataset, error) {
 	}
 	tasks = append(tasks, planBackground(schema, cfg, inCommunity, rng.Split(3))...)
 
+	edgeTaskNs := stageTaskHist(cfg, "edges")
 	runTasks(cfg.Workers, len(tasks), func(i int) {
+		tm := edgeTaskNs.Time()
 		t := tasks[i]
 		t.out, t.err = t.gen()
+		tm.Stop()
 	})
+	var emitted int64
 	for _, t := range tasks {
 		if t.err != nil {
 			return nil, t.err
 		}
+		emitted += int64(len(t.out))
+	}
+	if cfg.Metrics != nil {
+		cfg.Metrics.Counter("tqq_generate_edges_total").Add(emitted)
 	}
 	if err := mergeEdges(b, schema, tasks); err != nil {
 		return nil, err
@@ -273,6 +296,12 @@ func runTasks(workers, n int, task func(i int)) {
 // userShards returns the number of fixed-width user shards for cfg.
 func userShards(users int) int {
 	return (users + genShardUsers - 1) / genShardUsers
+}
+
+// stageTaskHist resolves the per-task latency histogram for one generator
+// stage; nil (a no-op timer source) when metrics are disabled.
+func stageTaskHist(cfg Config, stage string) *obs.Histogram {
+	return cfg.Metrics.Histogram("tqq_generate_task_ns", "stage", stage)
 }
 
 func validate(cfg *Config) error {
@@ -341,7 +370,10 @@ func genProfiles(b *hin.Builder, cfg Config, rng *randx.RNG) {
 	nShards := userShards(cfg.Users)
 	rngs := rng.Fork(nShards)
 	shards := make([]profileShard, nShards)
+	shardNs := stageTaskHist(cfg, "profiles")
 	runTasks(cfg.Workers, nShards, func(s int) {
+		tm := shardNs.Time()
+		defer tm.Stop()
 		lo := s * genShardUsers
 		hi := min(lo+genShardUsers, cfg.Users)
 		r := rngs[s]
@@ -740,7 +772,10 @@ func genRecLog(cfg Config, rng *randx.RNG) ([]Item, []RecEntry) {
 	nShards := userShards(cfg.Users)
 	rngs := rng.Fork(nShards)
 	shards := make([]recShard, nShards)
+	shardNs := stageTaskHist(cfg, "reclog")
 	runTasks(cfg.Workers, nShards, func(s int) {
+		tm := shardNs.Time()
+		defer tm.Stop()
 		lo := s * genShardUsers
 		hi := min(lo+genShardUsers, cfg.Users)
 		r := rngs[s]
