@@ -4,7 +4,18 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test verify fuzz bench benchdump
+# bench-diff gate knobs (see OBSERVABILITY.md "Bench-regression gate"):
+#   BENCH_BASELINE   committed snapshot to compare against
+#   BENCH_DIFF_MATCH benchmarks gated on every verify (keep them fast)
+#   BENCH_DIFF_TOL   allowed ns/op regression in percent (allocs/op growth
+#                    always fails); raise on noisy shared machines
+#   SKIP_BENCH_DIFF  set non-empty to skip the gate entirely
+BENCH_BASELINE ?= BENCH_3.json
+BENCH_DIFF_MATCH ?= BenchmarkDeanonymizeSingle|BenchmarkDeanonymizeInstrumented
+BENCH_DIFF_TOL ?= 15
+BENCH_VERIFY_OUT ?= /tmp/dehin-bench-verify.json
+
+.PHONY: build test verify bench-diff fuzz bench benchdump
 
 build:
 	$(GO) build ./...
@@ -12,13 +23,24 @@ build:
 test:
 	$(GO) test ./...
 
-# verify is the CI gate: static checks plus the race-detector run over the
+# verify is the CI gate: static checks, the race-detector run over the
 # packages with real concurrency (the sharded generator, the parallel
-# workbench/registry, and the obs metrics registry). Keep it green before
-# committing.
+# workbench/registry, the obs metrics registry, and the span tracer), and
+# the bench-regression gate on the zero-allocation query benchmarks. Keep
+# it green before committing.
 verify:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/experiments ./internal/tqq ./internal/obs
+	$(GO) test -race ./internal/experiments ./internal/tqq ./internal/obs ./internal/obs/trace
+ifeq ($(strip $(SKIP_BENCH_DIFF)),)
+	$(MAKE) bench-diff
+endif
+
+# bench-diff re-measures the gated benchmarks and fails on a >BENCH_DIFF_TOL%
+# ns/op or any allocs/op regression against BENCH_BASELINE.
+bench-diff:
+	$(GO) run ./cmd/benchdump -bench '$(BENCH_DIFF_MATCH)' -pkg . -out $(BENCH_VERIFY_OUT)
+	$(GO) run ./cmd/benchdiff -old $(BENCH_BASELINE) -new $(BENCH_VERIFY_OUT) \
+		-match '$(BENCH_DIFF_MATCH)' -tol $(BENCH_DIFF_TOL)
 
 # fuzz runs each fuzz target for FUZZTIME (default 30s each). The committed
 # seed corpora under testdata/fuzz also run as plain tests in `make test`.

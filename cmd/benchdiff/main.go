@@ -1,0 +1,99 @@
+// Command benchdiff compares two benchdump snapshots (see cmd/benchdump
+// and BENCH_*.json) and fails when a selected benchmark regressed: ns/op
+// worse than the tolerance, or any allocs/op increase at all. It is the
+// bench-regression gate `make verify` runs against the committed baseline,
+// keeping the repository's zero-allocation guarantees enforced instead of
+// documented.
+//
+// Usage:
+//
+//	benchdiff -old BENCH_3.json -new /tmp/bench.json
+//	benchdiff -old BENCH_3.json -new /tmp/bench.json \
+//	          -match 'DeanonymizeSingle|DeanonymizeInstrumented' -tol 15
+//
+// Exit status is 0 when every compared benchmark is within tolerance, 1 on
+// any regression (or when -match selects nothing), 2 on usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+
+	"github.com/hinpriv/dehin/internal/benchjson"
+)
+
+func main() {
+	var (
+		oldPath = flag.String("old", "", "baseline snapshot (required)")
+		newPath = flag.String("new", "", "candidate snapshot (required)")
+		match   = flag.String("match", ".", "regexp selecting benchmark names to gate")
+		tol     = flag.Float64("tol", 15, "maximum allowed ns/op regression, percent")
+	)
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -old and -new are required")
+		os.Exit(2)
+	}
+	re, err := regexp.Compile(*match)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: bad -match: %v\n", err)
+		os.Exit(2)
+	}
+	oldM, err := benchjson.Load(*oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	newM, err := benchjson.Load(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(newM))
+	for name := range newM {
+		if re.MatchString(name) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: -match %q selects no benchmark in %s\n", *match, *newPath)
+		os.Exit(1)
+	}
+
+	failed := false
+	fmt.Printf("benchdiff: %s -> %s (tolerance %.0f%% ns/op, 0 allocs/op growth)\n",
+		*oldPath, *newPath, *tol)
+	for _, name := range names {
+		nw := newM[name]
+		od, ok := oldM[name]
+		if !ok {
+			fmt.Printf("  %-36s NEW  %.1f ns/op  %.0f allocs/op (no baseline, skipped)\n",
+				name, nw.NsPerOp, nw.AllocsOp)
+			continue
+		}
+		verdict := "ok"
+		deltaPct := 0.0
+		if od.NsPerOp > 0 {
+			deltaPct = (nw.NsPerOp - od.NsPerOp) / od.NsPerOp * 100
+		}
+		if deltaPct > *tol {
+			verdict = fmt.Sprintf("FAIL ns/op regression > %.0f%%", *tol)
+			failed = true
+		}
+		if nw.AllocsOp > od.AllocsOp {
+			verdict = fmt.Sprintf("FAIL allocs/op %.0f -> %.0f", od.AllocsOp, nw.AllocsOp)
+			failed = true
+		}
+		fmt.Printf("  %-36s %9.1f -> %9.1f ns/op (%+6.1f%%)  %3.0f -> %3.0f allocs/op  %s\n",
+			name, od.NsPerOp, nw.NsPerOp, deltaPct, od.AllocsOp, nw.AllocsOp, verdict)
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchdiff: regression detected")
+		os.Exit(1)
+	}
+}

@@ -1,7 +1,8 @@
 // Command benchdump runs the repository's benchmarks and writes a
 // machine-readable snapshot (name -> ns/op, allocs/op, B/op, and every
 // custom ReportMetric value) so performance regressions show up as a JSON
-// diff instead of a scroll through `go test -bench` output.
+// diff instead of a scroll through `go test -bench` output. Compare two
+// snapshots with cmd/benchdiff.
 //
 // Usage:
 //
@@ -15,26 +16,15 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"os/exec"
 	"strconv"
 	"strings"
-)
 
-// Entry is one benchmark's parsed result. Metrics holds every reported
-// unit beyond the timing triple (precision_pct, risk_fmcr_pct, ...).
-type Entry struct {
-	Iterations int64   `json:"iterations"`
-	NsPerOp    float64 `json:"ns_per_op"`
-	// The allocation pair is always emitted (benchdump passes -benchmem),
-	// so a literal 0 is a measured zero, not a missing value.
-	AllocsOp float64            `json:"allocs_per_op"`
-	BytesOp  float64            `json:"bytes_per_op"`
-	Metrics  map[string]float64 `json:"metrics,omitempty"`
-}
+	"github.com/hinpriv/dehin/internal/benchjson"
+)
 
 func main() {
 	var (
@@ -62,69 +52,14 @@ func main() {
 		os.Exit(1)
 	}
 
-	results := parse(string(raw))
+	results := benchjson.Parse(string(raw))
 	if len(results) == 0 {
 		fmt.Fprintln(os.Stderr, "benchdump: no benchmark lines in output")
 		os.Exit(1)
 	}
-	blob, err := json.MarshalIndent(results, "", "  ")
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchdump: %v\n", err)
-		os.Exit(1)
-	}
-	blob = append(blob, '\n')
-	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+	if err := benchjson.Write(*out, results); err != nil {
 		fmt.Fprintf(os.Stderr, "benchdump: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Printf("benchdump: wrote %d benchmarks to %s\n", len(results), *out)
-}
-
-// parse extracts Benchmark lines from go test output. The format is
-//
-//	BenchmarkName-8   	 iterations	 value unit	 value unit ...
-//
-// with one value/unit pair per reported measurement. Repeated runs of the
-// same benchmark (-count > 1) keep the last measurement.
-func parse(output string) map[string]Entry {
-	results := make(map[string]Entry)
-	for _, line := range strings.Split(output, "\n") {
-		fields := strings.Fields(line)
-		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
-			continue
-		}
-		name := fields[0]
-		// Strip the -GOMAXPROCS suffix go test appends.
-		if i := strings.LastIndexByte(name, '-'); i > 0 {
-			if _, err := strconv.Atoi(name[i+1:]); err == nil {
-				name = name[:i]
-			}
-		}
-		iters, err := strconv.ParseInt(fields[1], 10, 64)
-		if err != nil {
-			continue
-		}
-		e := Entry{Iterations: iters, Metrics: make(map[string]float64)}
-		for i := 2; i+1 < len(fields); i += 2 {
-			v, err := strconv.ParseFloat(fields[i], 64)
-			if err != nil {
-				break
-			}
-			switch unit := fields[i+1]; unit {
-			case "ns/op":
-				e.NsPerOp = v
-			case "allocs/op":
-				e.AllocsOp = v
-			case "B/op":
-				e.BytesOp = v
-			default:
-				e.Metrics[unit] = v
-			}
-		}
-		if len(e.Metrics) == 0 {
-			e.Metrics = nil
-		}
-		results[name] = e
-	}
-	return results
 }

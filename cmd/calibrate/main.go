@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strconv"
 	"strings"
@@ -22,10 +23,14 @@ import (
 	"github.com/hinpriv/dehin/internal/anonymize"
 	"github.com/hinpriv/dehin/internal/dehin"
 	"github.com/hinpriv/dehin/internal/hin"
+	"github.com/hinpriv/dehin/internal/obs"
 	"github.com/hinpriv/dehin/internal/randx"
 	"github.com/hinpriv/dehin/internal/risk"
 	"github.com/hinpriv/dehin/internal/tqq"
 )
+
+// logger is the command's structured stderr output (see internal/obs).
+var logger *obs.Logger
 
 func main() {
 	var (
@@ -36,6 +41,7 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "seed")
 	)
 	flag.Parse()
+	logger = obs.NewLogger(os.Stderr, slog.LevelInfo)
 
 	fmt.Printf("%-8s %-6s | %-7s %-7s %-7s | %-7s %-7s\n",
 		"yobspan", "bgdeg", "p(n=0)", "p@.001", "p@.01", "r_f(1)", "r_f(2)")
@@ -51,7 +57,7 @@ func parseList(s string) []float64 {
 	for _, p := range strings.Split(s, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "calibrate: bad value %q\n", p)
+			logger.Error("bad sweep value", "value", p)
 			os.Exit(1)
 		}
 		out = append(out, v)

@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 	"time"
@@ -22,9 +23,14 @@ import (
 	"github.com/hinpriv/dehin/internal/dehin"
 	"github.com/hinpriv/dehin/internal/hin"
 	"github.com/hinpriv/dehin/internal/obs"
+	"github.com/hinpriv/dehin/internal/obs/trace"
 	"github.com/hinpriv/dehin/internal/randx"
 	"github.com/hinpriv/dehin/internal/tqq"
 )
+
+// logger carries the command's levelled stderr output; fatalf routes
+// through it so every diagnostic line shares one structured format.
+var logger *obs.Logger
 
 func main() {
 	var (
@@ -39,8 +45,15 @@ func main() {
 		ranked    = flag.Int("ranked", 0, "also print the top-N ranked candidates for the first ambiguous target")
 		metrics   = flag.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :9090 or 127.0.0.1:0)")
 		metDump   = flag.String("metrics-dump", "", "write a final JSON metrics snapshot to this file")
+		traceOut  = flag.String("trace", "", "record a span timeline and write it as Chrome trace-event JSON (Perfetto/about://tracing) to this file")
+		verbose   = flag.Bool("v", false, "debug-level progress logging on stderr")
 	)
 	flag.Parse()
+	level := slog.LevelInfo
+	if *verbose {
+		level = slog.LevelDebug
+	}
+	logger = obs.NewLogger(os.Stderr, level)
 	if *auxDir == "" {
 		fatalf("-aux is required")
 	}
@@ -73,7 +86,11 @@ func main() {
 		if err != nil {
 			fatalf("metrics listener: %v", err)
 		}
-		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics\n", ln.Addr())
+		logger.Info("metrics endpoint up", "url", fmt.Sprintf("http://%s/metrics", ln.Addr()))
+	}
+	var tracer *trace.Tracer
+	if *traceOut != "" {
+		tracer = trace.New(trace.DefaultCapacity)
 	}
 
 	cfg := dehin.Config{
@@ -84,6 +101,7 @@ func main() {
 		FallbackProfileOnly:    *fallback,
 		Parallelism:            *par,
 		Metrics:                reg,
+		Trace:                  tracer,
 	}
 	if *links != "" {
 		for _, name := range strings.Split(*links, ",") {
@@ -141,11 +159,18 @@ func main() {
 		if err := reg.DumpJSON(*metDump); err != nil {
 			fatalf("metrics dump: %v", err)
 		}
-		fmt.Fprintf(os.Stderr, "metrics snapshot written to %s\n", *metDump)
+		logger.Info("metrics snapshot written", "path", *metDump)
+	}
+	if *traceOut != "" {
+		if err := tracer.DumpChromeTrace(*traceOut); err != nil {
+			fatalf("trace dump: %v", err)
+		}
+		logger.Info("trace written", "path", *traceOut,
+			"spans", tracer.Len(), "dropped", tracer.Dropped())
 	}
 }
 
 func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "dehin: "+format+"\n", args...)
+	logger.Error(fmt.Sprintf(format, args...))
 	os.Exit(1)
 }

@@ -12,15 +12,22 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	"github.com/hinpriv/dehin/internal/experiments"
 	"github.com/hinpriv/dehin/internal/obs"
+	"github.com/hinpriv/dehin/internal/obs/trace"
 )
+
+// logger carries the command's levelled stderr output; fatalf routes
+// through it so every diagnostic line shares one structured format.
+var logger *obs.Logger
 
 func main() {
 	var (
@@ -39,8 +46,15 @@ func main() {
 		outDir   = flag.String("out", "", "also write each table as CSV into this directory")
 		metrics  = flag.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :9090 or 127.0.0.1:0)")
 		metDump  = flag.String("metrics-dump", "", "write a final JSON metrics snapshot to this file")
+		traceOut = flag.String("trace", "", "record a span timeline and write it as Chrome trace-event JSON (Perfetto/about://tracing) to this file")
+		verbose  = flag.Bool("v", false, "debug-level progress logging on stderr")
 	)
 	flag.Parse()
+	level := slog.LevelInfo
+	if *verbose {
+		level = slog.LevelDebug
+	}
+	logger = obs.NewLogger(os.Stderr, level)
 
 	if *list {
 		for _, n := range experiments.Names() {
@@ -81,7 +95,7 @@ func main() {
 	p.Workers = *parallel
 
 	var reg *obs.Registry
-	if *metrics != "" || *metDump != "" {
+	if *metrics != "" || *metDump != "" || *timing {
 		reg = obs.New()
 		p.Metrics = reg
 	}
@@ -90,7 +104,15 @@ func main() {
 		if err != nil {
 			fatalf("metrics listener: %v", err)
 		}
-		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics\n", ln.Addr())
+		logger.Info("metrics endpoint up", "url", fmt.Sprintf("http://%s/metrics", ln.Addr()))
+	}
+	var tracer *trace.Tracer
+	if *traceOut != "" {
+		tracer = trace.New(trace.DefaultCapacity)
+		p.Trace = tracer
+	}
+	if *verbose {
+		p.Log = logger
 	}
 
 	fmt.Printf("params: aux=%d target=%d samples/density=%d densities=%v distances=%v seed=%d\n\n",
@@ -109,6 +131,7 @@ func main() {
 				fmt.Fprintf(os.Stderr, "timing: %-20s %v\n", t.ID, t.Elapsed.Round(time.Millisecond))
 			}
 			fmt.Fprintln(os.Stderr, stats)
+			printTimingQuantiles(reg)
 		}
 	} else {
 		var w *experiments.Workbench
@@ -118,6 +141,7 @@ func main() {
 			if *timing {
 				fmt.Fprintf(os.Stderr, "timing: %-20s %v\n", *exp, time.Since(start).Round(time.Millisecond))
 				fmt.Fprintln(os.Stderr, w.Stats())
+				printTimingQuantiles(reg)
 			}
 		}
 	}
@@ -145,12 +169,42 @@ func main() {
 		if err := reg.DumpJSON(*metDump); err != nil {
 			fatalf("metrics dump: %v", err)
 		}
-		fmt.Fprintf(os.Stderr, "metrics snapshot written to %s\n", *metDump)
+		logger.Info("metrics snapshot written", "path", *metDump)
 	}
-	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))
+	if *traceOut != "" {
+		if err := tracer.DumpChromeTrace(*traceOut); err != nil {
+			fatalf("trace dump: %v", err)
+		}
+		logger.Info("trace written", "path", *traceOut,
+			"spans", tracer.Len(), "dropped", tracer.Dropped())
+	}
+	logger.Info("done", "elapsed", time.Since(start).Round(time.Millisecond).String())
+}
+
+// printTimingQuantiles extends the -timing table with the p50/p95/p99
+// estimates of every recorded latency histogram (generator task, attack
+// run, per-experiment slot times).
+func printTimingQuantiles(reg *obs.Registry) {
+	s := reg.Snapshot()
+	ids := make([]string, 0, len(s.Histograms))
+	for id := range s.Histograms {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		h := s.Histograms[id]
+		if h.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "timing: %-44s n=%-5d p50=%-10v p95=%-10v p99=%v\n",
+			id, h.Count,
+			time.Duration(h.P50).Round(time.Microsecond),
+			time.Duration(h.P95).Round(time.Microsecond),
+			time.Duration(h.P99).Round(time.Microsecond))
+	}
 }
 
 func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "experiments: "+format+"\n", args...)
+	logger.Error(fmt.Sprintf(format, args...))
 	os.Exit(1)
 }

@@ -11,14 +11,19 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 
 	"github.com/hinpriv/dehin/internal/experiments"
 	"github.com/hinpriv/dehin/internal/hin"
+	"github.com/hinpriv/dehin/internal/obs"
 	"github.com/hinpriv/dehin/internal/randx"
 	"github.com/hinpriv/dehin/internal/risk"
 	"github.com/hinpriv/dehin/internal/tqq"
 )
+
+// logger is the command's structured stderr output (see internal/obs).
+var logger = obs.NewLogger(os.Stderr, slog.LevelInfo)
 
 func main() {
 	var (
@@ -80,6 +85,6 @@ func main() {
 }
 
 func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "hinrisk: "+format+"\n", args...)
+	logger.Error(fmt.Sprintf(format, args...))
 	os.Exit(1)
 }

@@ -10,28 +10,43 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strconv"
 	"strings"
 
 	"github.com/hinpriv/dehin/internal/hin"
+	"github.com/hinpriv/dehin/internal/obs"
 	"github.com/hinpriv/dehin/internal/tqq"
 )
 
+// logger carries the command's levelled stderr output; fatalf routes
+// through it so every diagnostic line shares one structured format.
+var logger *obs.Logger
+
 func main() {
 	var (
-		out   = flag.String("out", "", "output directory (required)")
-		users = flag.Int("users", 10000, "number of users")
-		seed  = flag.Uint64("seed", 1, "generator seed")
-		comms = flag.String("communities", "", "planted communities as SIZExDENSITY, comma-separated")
-		grow  = flag.Bool("grow", false, "also write a grown auxiliary crawl under <out>/grown")
-		dot   = flag.Bool("dot", false, "also write the target network schema as <out>/schema.dot")
+		out     = flag.String("out", "", "output directory (required)")
+		users   = flag.Int("users", 10000, "number of users")
+		seed    = flag.Uint64("seed", 1, "generator seed")
+		comms   = flag.String("communities", "", "planted communities as SIZExDENSITY, comma-separated")
+		grow    = flag.Bool("grow", false, "also write a grown auxiliary crawl under <out>/grown")
+		dot     = flag.Bool("dot", false, "also write the target network schema as <out>/schema.dot")
+		verbose = flag.Bool("v", false, "debug-level generator progress logging on stderr")
 	)
 	flag.Parse()
+	level := slog.LevelInfo
+	if *verbose {
+		level = slog.LevelDebug
+	}
+	logger = obs.NewLogger(os.Stderr, level)
 	if *out == "" {
 		fatalf("-out is required")
 	}
 	cfg := tqq.DefaultConfig(*users, *seed)
+	if *verbose {
+		cfg.Log = logger
+	}
 	if *comms != "" {
 		for _, part := range strings.Split(*comms, ",") {
 			sz, den, err := parseCommunity(part)
@@ -100,6 +115,6 @@ func parseCommunity(s string) (int, float64, error) {
 }
 
 func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "tqqgen: "+format+"\n", args...)
+	logger.Error(fmt.Sprintf(format, args...))
 	os.Exit(1)
 }

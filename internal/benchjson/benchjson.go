@@ -1,0 +1,99 @@
+// Package benchjson is the shared model behind the BENCH_*.json benchmark
+// snapshots: cmd/benchdump produces them from `go test -bench` output and
+// cmd/benchdiff compares two of them for regressions. Keeping the parser
+// and the file format in one package guarantees the two tools can never
+// drift apart on what a snapshot means.
+package benchjson
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark's parsed result. Metrics holds every reported
+// unit beyond the timing triple (precision_pct, risk_fmcr_pct, ...).
+type Entry struct {
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// The allocation pair is always emitted (benchdump passes -benchmem),
+	// so a literal 0 is a measured zero, not a missing value.
+	AllocsOp float64            `json:"allocs_per_op"`
+	BytesOp  float64            `json:"bytes_per_op"`
+	Metrics  map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Parse extracts Benchmark lines from go test output. The format is
+//
+//	BenchmarkName-8   	 iterations	 value unit	 value unit ...
+//
+// with one value/unit pair per reported measurement. Repeated runs of the
+// same benchmark (-count > 1) keep the last measurement.
+func Parse(output string) map[string]Entry {
+	results := make(map[string]Entry)
+	for _, line := range strings.Split(output, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		// Strip the -GOMAXPROCS suffix go test appends.
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		e := Entry{Iterations: iters, Metrics: make(map[string]float64)}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				e.NsPerOp = v
+			case "allocs/op":
+				e.AllocsOp = v
+			case "B/op":
+				e.BytesOp = v
+			default:
+				e.Metrics[unit] = v
+			}
+		}
+		if len(e.Metrics) == 0 {
+			e.Metrics = nil
+		}
+		results[name] = e
+	}
+	return results
+}
+
+// Load reads one snapshot file.
+func Load(path string) (map[string]Entry, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m map[string]Entry
+	if err := json.Unmarshal(blob, &m); err != nil {
+		return nil, fmt.Errorf("benchjson: %s: %w", path, err)
+	}
+	return m, nil
+}
+
+// Write renders a snapshot in the committed BENCH_*.json layout (indented,
+// trailing newline, names sorted by encoding/json's map ordering).
+func Write(path string, m map[string]Entry) error {
+	blob, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	return os.WriteFile(path, blob, 0o644)
+}

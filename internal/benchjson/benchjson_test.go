@@ -1,0 +1,50 @@
+package benchjson
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestParse pins the go test -bench output grammar the snapshot tools
+// rely on: the -GOMAXPROCS suffix is stripped, the timing triple maps to
+// the named fields, custom ReportMetric units land in Metrics, and
+// -count>1 keeps the last run.
+func TestParse(t *testing.T) {
+	out := `goos: linux
+BenchmarkDeanonymizeSingle-8   	  500000	      2369 ns/op	       0 B/op	       0 allocs/op
+BenchmarkEndToEndAttack-8      	      12	  91000000 ns/op	      93.1 precision_pct	 1200000 B/op	    2100 allocs/op
+BenchmarkDeanonymizeSingle-8   	  500000	      2401 ns/op	       0 B/op	       0 allocs/op
+PASS
+`
+	got := Parse(out)
+	want := map[string]Entry{
+		"BenchmarkDeanonymizeSingle": {Iterations: 500000, NsPerOp: 2401},
+		"BenchmarkEndToEndAttack": {
+			Iterations: 12, NsPerOp: 91000000, BytesOp: 1200000, AllocsOp: 2100,
+			Metrics: map[string]float64{"precision_pct": 93.1},
+		},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Parse mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+// TestWriteLoadRoundTrip checks a snapshot survives the disk format.
+func TestWriteLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	in := map[string]Entry{
+		"BenchmarkX": {Iterations: 7, NsPerOp: 1.5, AllocsOp: 2,
+			Metrics: map[string]float64{"risk_fmcr_pct": 40.5}},
+	}
+	if err := Write(path, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\ngot  %+v\nwant %+v", out, in)
+	}
+}

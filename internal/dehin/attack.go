@@ -10,6 +10,7 @@ import (
 
 	"github.com/hinpriv/dehin/internal/hin"
 	"github.com/hinpriv/dehin/internal/obs"
+	"github.com/hinpriv/dehin/internal/obs/trace"
 )
 
 // Config parameterizes the DeHIN attack.
@@ -71,6 +72,15 @@ type Config struct {
 	// then pays a single predictable branch per query (see DESIGN.md
 	// §5.2). Metric names are listed in OBSERVABILITY.md.
 	Metrics *obs.Registry
+	// Trace attaches Run to a span tracer (internal/obs/trace): one span
+	// per Run on its own lane per worker, plus SAMPLED per-query child
+	// spans (every querySampleEvery-th query, at most querySampleCap per
+	// Run) broken into profile_candidates / degree_prune / neighbor_match
+	// stages, so a 12k-target trace stays bounded. Nil (the default)
+	// disables tracing; the single-query paths (Deanonymize,
+	// DeanonymizeAppend) are never traced, preserving their
+	// zero-allocation guarantee bit for bit.
+	Trace *trace.Tracer
 }
 
 // Attack is a DeHIN attacker bound to one auxiliary graph. It is safe for
@@ -236,19 +246,43 @@ func (a *Attack) emCached(s *queryScratch, target *hin.Graph, tb, ab hin.EntityI
 // deanonymize is the per-query entry point: the uninstrumented core plus,
 // when a metrics registry is attached, one batched flush of the query's
 // scratch-local event tally. The disabled path costs exactly this one
-// predictable branch.
+// predictable branch (the zero Span inside the core adds only dead
+// single-branch no-ops).
 func (a *Attack) deanonymize(s *queryScratch, dst []hin.EntityID, target *hin.Graph, tv hin.EntityID) []hin.EntityID {
 	if a.met == nil {
-		return a.deanonymizeCore(s, dst, target, tv)
+		return a.deanonymizeCore(s, dst, target, tv, trace.Span{})
 	}
 	s.stats = queryStats{}
-	dst = a.deanonymizeCore(s, dst, target, tv)
+	dst = a.deanonymizeCore(s, dst, target, tv, trace.Span{})
 	a.met.flush(&s.stats)
 	return dst
 }
 
-func (a *Attack) deanonymizeCore(s *queryScratch, dst []hin.EntityID, target *hin.Graph, tv hin.EntityID) []hin.EntityID {
+// deanonymizeTraced is deanonymize carrying a live query span, used only
+// for the queries Run samples. An inactive span falls through to the
+// untraced path so callers need not branch.
+func (a *Attack) deanonymizeTraced(s *queryScratch, dst []hin.EntityID, target *hin.Graph, tv hin.EntityID, qs trace.Span) []hin.EntityID {
+	if !qs.Active() {
+		return a.deanonymize(s, dst, target, tv)
+	}
+	if a.met == nil {
+		return a.deanonymizeCore(s, dst, target, tv, qs)
+	}
+	s.stats = queryStats{}
+	dst = a.deanonymizeCore(s, dst, target, tv, qs)
+	a.met.flush(&s.stats)
+	return dst
+}
+
+// deanonymizeCore runs Algorithm 1 for one target. qs, when active, is the
+// sampled query span whose stage children record where the query's time
+// went; the zero Span (the usual case) makes every trace call a
+// predictable no-op branch.
+func (a *Attack) deanonymizeCore(s *queryScratch, dst []hin.EntityID, target *hin.Graph, tv hin.EntityID, qs trace.Span) []hin.EntityID {
+	ps := qs.Child("profile_candidates")
 	profile := a.profileCandidates(s, target, tv)
+	ps.Attr("candidates", int64(len(profile)))
+	ps.End()
 	s.stats.candidates += int64(len(profile))
 	if a.cfg.MaxDistance == 0 || len(profile) == 0 {
 		return append(dst, profile...)
@@ -256,22 +290,30 @@ func (a *Attack) deanonymizeCore(s *queryScratch, dst []hin.EntityID, target *hi
 	a.ensureMemo(s, target)
 	prune := a.deg != nil
 	if prune {
+		dp := qs.Child("degree_prune")
 		a.computeNeeds(s, target, tv)
+		dp.End()
 	}
+	ms := qs.Child("neighbor_match")
 	base := len(dst)
+	pruned := int64(0)
 	for _, av := range profile {
 		// A candidate the degree signature rejects is one Algorithm 2
 		// would reject; skipping it here keeps FallbackProfileOnly
 		// semantics identical (it still counts as a neighbor-stage
 		// elimination, not a profile-stage one).
 		if prune && !a.deg.admits(s.needs, av) {
-			s.stats.pruned++
+			pruned++
 			continue
 		}
 		if a.linkMatch(s, target, a.cfg.MaxDistance, tv, av) {
 			dst = append(dst, av)
 		}
 	}
+	s.stats.pruned += pruned
+	ms.Attr("pruned", pruned)
+	ms.Attr("survivors", int64(len(dst)-base))
+	ms.End()
 	if len(dst) == base && a.cfg.FallbackProfileOnly {
 		s.stats.fallbacks++
 		return append(dst, profile...)
@@ -440,6 +482,13 @@ func RemoveMajorityStrengthEdges(g *hin.Graph) (*hin.Graph, error) {
 	return b.Build()
 }
 
+// Query-span sampling policy for Run (see Config.Trace): trace every
+// querySampleEvery-th query, never more than querySampleCap per Run.
+const (
+	querySampleEvery = 64
+	querySampleCap   = 256
+)
+
 // TargetOutcome records the attack's result on one target entity.
 type TargetOutcome struct {
 	// Candidates is |C(v')|, the candidate set size.
@@ -498,6 +547,22 @@ func (a *Attack) Run(target *hin.Graph, truth []hin.EntityID) (Result, error) {
 		workers = n
 	}
 
+	// Tracing: one lane per worker so sampled query spans land on stable
+	// timeline rows; a shared counter samples every querySampleEvery-th
+	// query up to querySampleCap, keeping large-target traces bounded.
+	root := a.cfg.Trace.Start("dehin.run")
+	root.Attr("targets", int64(n))
+	root.Attr("workers", int64(workers))
+	defer root.End()
+	var lanes []trace.Track
+	if a.cfg.Trace != nil {
+		lanes = make([]trace.Track, workers)
+		for i := range lanes {
+			lanes[i] = a.cfg.Trace.NewTrack()
+		}
+	}
+	var qSeen, qSampled atomic.Int64
+
 	order := a.runOrder(prepared)
 	// Small chunks amortize the atomic fetch without re-creating the
 	// convoy a static partition (or one target per channel send) causes
@@ -507,7 +572,7 @@ func (a *Attack) Run(target *hin.Graph, truth []hin.EntityID) (Result, error) {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			s := a.getScratch()
 			defer a.putScratch(s)
@@ -519,7 +584,19 @@ func (a *Attack) Run(target *hin.Graph, truth []hin.EntityID) (Result, error) {
 				}
 				for _, tv32 := range order[start:min(start+chunk, n)] {
 					tv := hin.EntityID(tv32)
-					buf = a.deanonymize(s, buf[:0], prepared, tv)
+					var sp trace.Span
+					if lanes != nil {
+						if k := qSeen.Add(1); (k-1)%querySampleEvery == 0 &&
+							qSampled.Add(1) <= querySampleCap {
+							sp = root.ChildOn(lanes[w], "query")
+							sp.Attr("target", int64(tv))
+						}
+					}
+					buf = a.deanonymizeTraced(s, buf[:0], prepared, tv, sp)
+					if sp.Active() {
+						sp.Attr("candidates", int64(len(buf)))
+						sp.End()
+					}
 					o := TargetOutcome{Candidates: len(buf)}
 					if len(buf) == 1 {
 						o.Unique = true
@@ -528,7 +605,7 @@ func (a *Attack) Run(target *hin.Graph, truth []hin.EntityID) (Result, error) {
 					out.PerTarget[tv] = o
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 

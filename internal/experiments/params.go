@@ -13,6 +13,7 @@ import (
 
 	"github.com/hinpriv/dehin/internal/hin"
 	"github.com/hinpriv/dehin/internal/obs"
+	"github.com/hinpriv/dehin/internal/obs/trace"
 	"github.com/hinpriv/dehin/internal/tqq"
 )
 
@@ -52,6 +53,14 @@ type Params struct {
 	// always works. Metrics never influence results - no random stream
 	// ever observes them.
 	Metrics *obs.Registry
+	// Trace, when non-nil, records the pipeline's span timeline
+	// (internal/obs/trace): generator shards, workbench cache fills and
+	// hits, one span per RunAll experiment slot, and sampled attack query
+	// spans. Like Metrics, tracing never influences results.
+	Trace *trace.Tracer
+	// Log receives levelled pipeline progress events. Nil disables
+	// logging.
+	Log *obs.Logger
 }
 
 // DefaultParams returns the committed configuration: every paper shape is

@@ -312,18 +312,28 @@ func RunAllTimed(sink io.Writer, p Params) ([]*Table, []ExperimentTiming, CacheS
 	for i := range done {
 		done[i] = make(chan struct{})
 	}
+	// One span per experiment slot, each on its own lane: the exported
+	// timeline shows the actual concurrency schedule - which slots ran
+	// together and which serialized behind a shared intermediate.
+	suite := p.Trace.Start("experiments.run_all")
+	suite.Attr("slots", int64(len(runAllOrder)))
 	go runLimited(p.Workers, len(runAllOrder), func(i int) {
+		sp := suite.Fork(runAllOrder[i])
 		start := time.Now()
 		tbl, err := compute[runAllOrder[i]]()
 		elapsed := time.Since(start)
+		sp.End()
 		// One histogram per experiment id; under concurrency the slots
 		// overlap, so these record per-slot wall time, not suite time.
 		p.Metrics.Histogram("experiments_run_ns", "id", runAllOrder[i]).
 			Observe(elapsed.Nanoseconds())
+		p.Log.Debug("experiments: slot done",
+			"id", runAllOrder[i], "elapsed", elapsed)
 		results[i] = slotResult{tbl: tbl, err: err, elapsed: elapsed}
 		close(done[i])
 	})
 
+	defer suite.End()
 	var out []*Table
 	timings := make([]ExperimentTiming, 0, len(runAllOrder))
 	var firstErr error

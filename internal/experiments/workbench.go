@@ -12,6 +12,7 @@ import (
 	"github.com/hinpriv/dehin/internal/dehin"
 	"github.com/hinpriv/dehin/internal/hin"
 	"github.com/hinpriv/dehin/internal/obs"
+	"github.com/hinpriv/dehin/internal/obs/trace"
 	"github.com/hinpriv/dehin/internal/randx"
 	"github.com/hinpriv/dehin/internal/tqq"
 )
@@ -47,6 +48,11 @@ type Workbench struct {
 	// exposed metrics endpoint.
 	obs   *obs.Registry
 	stats cacheCounters
+	// tr mirrors Params.Trace (nil = tracing off): cache fills record
+	// spans with real durations, cache hits record instant spans, so an
+	// exported timeline shows which experiment paid for an artifact and
+	// which ones rode along.
+	tr *trace.Tracer
 }
 
 // ReleasedTarget is one anonymized target graph ready to attack: the graph
@@ -141,6 +147,8 @@ func NewWorkbench(p Params) (*Workbench, error) {
 	cfg := tqq.DefaultConfig(p.AuxUsers, p.Seed)
 	cfg.Workers = p.Workers
 	cfg.Metrics = reg
+	cfg.Trace = p.Trace
+	cfg.Log = p.Log
 	byDensity := make([][]int, len(p.Densities))
 	for i, d := range p.Densities {
 		for s := 0; s < p.SamplesPerDensity; s++ {
@@ -168,21 +176,28 @@ func NewWorkbench(p Params) (*Workbench, error) {
 		attacks:   make(map[string]*attackSlot),
 		obs:       reg,
 		stats:     newCacheCounters(reg),
+		tr:        p.Trace,
 	}
 	for vw := range w.completed {
 		w.completed[vw] = make([]targetSlot, len(cfg.Communities))
 	}
 	// Warm every release now; experiments then only ever hit the cache.
 	nc := len(cfg.Communities)
+	warm := w.tr.Start("workbench.warm")
+	warm.Attr("communities", int64(nc))
 	errs := make([]error, nc)
 	runLimited(p.Workers, nc, func(ci int) {
 		_, errs[ci] = w.target(ci)
 	})
+	warm.End()
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
 	}
+	p.Log.Info("experiments: workbench ready",
+		"users", ds.Graph.NumEntities(), "edges", ds.Graph.NumEdgesTotal(),
+		"communities", nc)
 	return w, nil
 }
 
@@ -254,12 +269,28 @@ func (w *Workbench) target(ci int) (*ReleasedTarget, error) {
 	s.once.Do(func() {
 		fresh = true
 		w.stats.targetMisses.Add(1)
+		sp := w.tr.Start("workbench.target_fill")
+		sp.Attr("community", int64(ci))
 		s.rt, s.err = w.releaseCommunity(ci)
+		sp.End()
 	})
 	if !fresh {
 		w.stats.targetHits.Add(1)
+		w.cacheHitSpan("workbench.target_hit", int64(ci))
 	}
 	return s.rt, s.err
+}
+
+// cacheHitSpan records an instant root span marking a cache hit - the
+// near-zero-width counterpart of the *_fill spans, cheap enough for the
+// hot cache paths because the zero-tracer case is one branch.
+func (w *Workbench) cacheHitSpan(name string, key int64) {
+	if w.tr == nil {
+		return
+	}
+	sp := w.tr.Start(name)
+	sp.Attr("key", key)
+	sp.End()
 }
 
 // CompletedTargets returns the di-th density's released targets hardened
@@ -283,6 +314,10 @@ func (w *Workbench) CompletedTargets(di int, varyWeights bool) ([]*ReleasedTarge
 		s.once.Do(func() {
 			fresh = true
 			w.stats.cgaMisses.Add(1)
+			sp := w.tr.Start("workbench.cga_fill")
+			sp.Attr("community", int64(ci))
+			sp.Attr("vary_weights", int64(vw))
+			defer sp.End()
 			rt, err := w.target(ci)
 			if err != nil {
 				s.err = err
@@ -301,6 +336,7 @@ func (w *Workbench) CompletedTargets(di int, varyWeights bool) ([]*ReleasedTarge
 		})
 		if !fresh {
 			w.stats.cgaHits.Add(1)
+			w.cacheHitSpan("workbench.cga_hit", int64(ci))
 		}
 		if s.err != nil {
 			return nil, s.err
@@ -350,6 +386,11 @@ func (w *Workbench) Attack(cfg dehin.Config) (*dehin.Attack, error) {
 		// (cold path) but must not tax the query hot path by default.
 		cfg.Metrics = w.Params.Metrics
 	}
+	if cfg.Trace == nil {
+		// Attacks inherit the pipeline tracer so Run spans (and sampled
+		// query spans) appear in the suite timeline.
+		cfg.Trace = w.Params.Trace
+	}
 	if cfg.EntityMatch != nil || cfg.LinkMatch != nil {
 		return dehin.NewAttack(w.Dataset.Graph, cfg)
 	}
@@ -365,16 +406,22 @@ func (w *Workbench) Attack(cfg dehin.Config) (*dehin.Attack, error) {
 	s.once.Do(func() {
 		fresh = true
 		w.stats.attackMisses.Add(1)
+		sp := w.tr.Start("workbench.attack_fill")
+		sp.Attr("distance", int64(cfg.MaxDistance))
+		sp.Attr("link_types", int64(len(cfg.LinkTypes)))
 		s.a, s.err = dehin.NewAttack(w.Dataset.Graph, cfg)
+		sp.End()
 	})
 	if !fresh {
 		w.stats.attackHits.Add(1)
+		w.cacheHitSpan("workbench.attack_hit", int64(cfg.MaxDistance))
 	}
 	return s.a, s.err
 }
 
 // attackKey canonicalizes the comparable dehin.Config fields. Profile and
-// SharedIndex are workbench-constant and excluded.
+// SharedIndex are workbench-constant and excluded; Metrics and Trace are
+// part of the key because they are baked into the constructed attack.
 func attackKey(cfg dehin.Config) string {
 	lts := make([]int, len(cfg.LinkTypes))
 	for i, lt := range cfg.LinkTypes {
@@ -382,10 +429,10 @@ func attackKey(cfg dehin.Config) string {
 	}
 	sort.Ints(lts)
 	var b strings.Builder
-	fmt.Fprintf(&b, "n=%d lt=%v maj=%t fb=%t in=%t tol=%g idx=%t par=%d met=%p",
+	fmt.Fprintf(&b, "n=%d lt=%v maj=%t fb=%t in=%t tol=%g idx=%t par=%d met=%p tr=%p",
 		cfg.MaxDistance, lts, cfg.RemoveMajorityStrength, cfg.FallbackProfileOnly,
 		cfg.UseInEdges, cfg.NeighborTolerance, cfg.UseIndex, cfg.Parallelism,
-		cfg.Metrics)
+		cfg.Metrics, cfg.Trace)
 	return b.String()
 }
 

@@ -18,10 +18,51 @@ type Snapshot struct {
 
 // HistSnapshot is one histogram's copied state. Buckets lists only the
 // non-empty buckets (raw, not cumulative) by their inclusive upper bound.
+// P50/P95/P99 are the Quantile estimates at snapshot time (0 when the
+// histogram is empty).
 type HistSnapshot struct {
 	Count   int64    `json:"count"`
 	Sum     int64    `json:"sum"`
+	P50     int64    `json:"p50"`
+	P95     int64    `json:"p95"`
+	P99     int64    `json:"p99"`
 	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Quantile estimates the q-th quantile (q in [0,1]) from the power-of-two
+// buckets: the bucket holding the q*Count-th observation is found by a
+// cumulative walk and the value is linearly interpolated inside it. The
+// bucket bounds cap the error at a factor of 2, which is plenty for
+// latency triage (is p99 microseconds or milliseconds?); exact ranks
+// would require recording raw observations, which the fixed-size
+// histogram deliberately does not.
+func (h HistSnapshot) Quantile(q float64) int64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(h.Count)
+	var cum int64
+	for _, b := range h.Buckets {
+		if float64(cum+b.Count) < target {
+			cum += b.Count
+			continue
+		}
+		lo := b.UpperBound/2 + 1 // inclusive lower bound; bucket 0 is {0}
+		if b.UpperBound == 0 {
+			lo = 0
+		}
+		frac := (target - float64(cum)) / float64(b.Count)
+		return lo + int64(frac*float64(b.UpperBound-lo))
+	}
+	// Only reachable through floating-point edge rounding: fall back to
+	// the largest observed bucket's bound.
+	return h.Buckets[len(h.Buckets)-1].UpperBound
 }
 
 // Bucket is one non-empty histogram bucket.
@@ -141,6 +182,9 @@ func (p pass) toSnapshot() Snapshot {
 				hs.Buckets = append(hs.Buckets, Bucket{UpperBound: BucketUpperBound(b), Count: c})
 			}
 		}
+		hs.P50 = hs.Quantile(0.50)
+		hs.P95 = hs.Quantile(0.95)
+		hs.P99 = hs.Quantile(0.99)
 		s.Histograms[id] = hs
 	}
 	return s
@@ -196,6 +240,29 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 		if _, err := fmt.Fprintf(w, "%s_count%s %d\n", family, labels, h.Count); err != nil {
 			return err
+		}
+	}
+
+	// Quantile estimates ride along as per-family gauge families
+	// (<family>_p50/_p95/_p99) after the histogram blocks, keeping each
+	// family's samples contiguous as the text format requires.
+	for _, suffix := range []struct {
+		name string
+		q    float64
+	}{{"p50", 0.50}, {"p95", 0.95}, {"p99", 0.99}} {
+		lastFamily = ""
+		for _, id := range histIDs {
+			family, labels := splitSeries(id)
+			if family != lastFamily {
+				if _, err := fmt.Fprintf(w, "# TYPE %s_%s gauge\n", family, suffix.name); err != nil {
+					return err
+				}
+				lastFamily = family
+			}
+			if _, err := fmt.Fprintf(w, "%s_%s%s %d\n",
+				family, suffix.name, labels, p.Histograms[id].Quantile(suffix.q)); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, mux *http.ServeMux, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	return rec
+}
+
+// TestMetricsEndpoint pins /metrics: status, the Prometheus content type,
+// and deterministic (byte-identical across requests, sorted) output.
+func TestMetricsEndpoint(t *testing.T) {
+	r := New()
+	r.Counter("b_total").Add(2)
+	r.Counter("a_total").Inc()
+	r.Histogram("lat_ns").Observe(100)
+	mux := NewMux(r)
+
+	rec := get(t, mux, "/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("content-type = %q", ct)
+	}
+	body := rec.Body.String()
+	if strings.Index(body, "a_total") > strings.Index(body, "b_total") {
+		t.Fatalf("families not sorted:\n%s", body)
+	}
+	if rec2 := get(t, mux, "/metrics"); rec2.Body.String() != body {
+		t.Fatalf("two renders differ:\n%s\n---\n%s", body, rec2.Body.String())
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != body {
+		t.Fatal("/metrics differs from WritePrometheus")
+	}
+}
+
+// TestDebugVarsRoundTrip verifies the expvar bridge serves the same
+// snapshot WriteJSON renders, under the "obs" key.
+func TestDebugVarsRoundTrip(t *testing.T) {
+	r := New()
+	r.Counter("vars_total").Add(5)
+	r.Histogram("vars_ns").Observe(1 << 10)
+	mux := NewMux(r)
+
+	rec := get(t, mux, "/debug/vars")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var vars struct {
+		Obs Snapshot `json:"obs"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &vars); err != nil {
+		t.Fatalf("/debug/vars does not parse: %v\n%s", err, rec.Body.String())
+	}
+
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var direct Snapshot
+	if err := json.Unmarshal([]byte(sb.String()), &direct); err != nil {
+		t.Fatal(err)
+	}
+	if vars.Obs.Counters["vars_total"] != direct.Counters["vars_total"] {
+		t.Fatalf("counter mismatch: vars=%v direct=%v", vars.Obs.Counters, direct.Counters)
+	}
+	vh, dh := vars.Obs.Histograms["vars_ns"], direct.Histograms["vars_ns"]
+	if vh.Count != dh.Count || vh.Sum != dh.Sum || vh.P50 != dh.P50 {
+		t.Fatalf("histogram mismatch: vars=%+v direct=%+v", vh, dh)
+	}
+}
+
+// TestPprofHandlersRegistered asserts the pprof endpoints are actually
+// wired into the mux, not just documented.
+func TestPprofHandlersRegistered(t *testing.T) {
+	mux := NewMux(New())
+	for _, path := range []string{
+		"/debug/pprof/",
+		"/debug/pprof/cmdline",
+		"/debug/pprof/symbol",
+	} {
+		if rec := get(t, mux, path); rec.Code != http.StatusOK {
+			t.Errorf("%s status = %d", path, rec.Code)
+		}
+	}
+	// The index page must link the standard profiles.
+	body := get(t, mux, "/debug/pprof/").Body.String()
+	for _, profile := range []string{"goroutine", "heap"} {
+		if !strings.Contains(body, profile) {
+			t.Errorf("pprof index missing %q profile", profile)
+		}
+	}
+}

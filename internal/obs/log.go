@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+)
+
+// Logger is the repository's nil-safe structured logging handle: a thin
+// wrapper over log/slog following the same contract as the metric types -
+// a nil *Logger is a no-op on every method and costs one predictable
+// branch, so commands and packages log unconditionally and disable output
+// by holding nil. Progress lines that used to be ad-hoc
+// fmt.Fprintf(os.Stderr, ...) calls go through here instead, which makes
+// them levelled (-v flips Debug on), structured (key=value pairs), and
+// capturable in tests (NewLogger takes any io.Writer).
+type Logger struct {
+	s *slog.Logger
+}
+
+// NewLogger returns a logger writing slog text lines at or above level to
+// w. The time attribute is stripped: these are CLI progress lines, and a
+// time-free format keeps captured output deterministic for tests.
+func NewLogger(w io.Writer, level slog.Level) *Logger {
+	h := slog.NewTextHandler(w, &slog.HandlerOptions{
+		Level: level,
+		ReplaceAttr: func(groups []string, a slog.Attr) slog.Attr {
+			if a.Key == slog.TimeKey && len(groups) == 0 {
+				return slog.Attr{}
+			}
+			return a
+		},
+	})
+	return &Logger{s: slog.New(h)}
+}
+
+// With returns a logger that adds args to every record; nil stays nil.
+func (l *Logger) With(args ...any) *Logger {
+	if l == nil {
+		return nil
+	}
+	return &Logger{s: l.s.With(args...)}
+}
+
+// Debug logs at LevelDebug; no-op on nil.
+func (l *Logger) Debug(msg string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.s.Debug(msg, args...)
+}
+
+// Info logs at LevelInfo; no-op on nil.
+func (l *Logger) Info(msg string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.s.Info(msg, args...)
+}
+
+// Warn logs at LevelWarn; no-op on nil.
+func (l *Logger) Warn(msg string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.s.Warn(msg, args...)
+}
+
+// Error logs at LevelError; no-op on nil.
+func (l *Logger) Error(msg string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.s.Error(msg, args...)
+}

@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+// TestLoggerNilSafe pins the off-by-default contract for the log wrapper.
+func TestLoggerNilSafe(t *testing.T) {
+	var l *Logger
+	l.Debug("d")
+	l.Info("i", "k", 1)
+	l.Warn("w")
+	l.Error("e")
+	if l.With("k", "v") != nil {
+		t.Fatal("nil Logger.With returned non-nil")
+	}
+}
+
+// TestLoggerOutput verifies levelling, structure, and that captured
+// output is time-free (deterministic for tests).
+func TestLoggerOutput(t *testing.T) {
+	var b strings.Builder
+	l := NewLogger(&b, slog.LevelInfo)
+	l.Debug("hidden")
+	l.With("stage", "edges").Info("generate done", "edges", 42)
+	got := b.String()
+	if strings.Contains(got, "hidden") {
+		t.Fatalf("debug line leaked at info level: %q", got)
+	}
+	want := "level=INFO msg=\"generate done\" stage=edges edges=42\n"
+	if got != want {
+		t.Fatalf("got %q, want %q", got, want)
+	}
+
+	b.Reset()
+	NewLogger(&b, slog.LevelDebug).Debug("visible")
+	if !strings.Contains(b.String(), "level=DEBUG msg=visible") {
+		t.Fatalf("debug line missing: %q", b.String())
+	}
+}

@@ -1,0 +1,222 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// chromeEvent is one Chrome trace-event object. Only the "X" (complete)
+// and "M" (metadata) phases are emitted; both Perfetto and
+// about://tracing load the {"traceEvents": [...]} wrapper form.
+type chromeEvent struct {
+	Name string           `json:"name"`
+	Cat  string           `json:"cat,omitempty"`
+	Ph   string           `json:"ph"`
+	TS   float64          `json:"ts"`
+	Dur  *float64         `json:"dur,omitempty"`
+	PID  int              `json:"pid"`
+	TID  uint64           `json:"tid"`
+	Args map[string]int64 `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []json.RawMessage `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+}
+
+// snapshot returns the recorded spans sorted by (start, id) - a stable,
+// deterministic export order. Open spans (never Ended, e.g. because the
+// traced work was cut short) are included with duration 0.
+func (t *Tracer) snapshot() []span {
+	if t == nil {
+		return nil
+	}
+	out := make([]span, 0, t.Len())
+	for i := 0; i < t.Len(); i++ {
+		if t.spans[i].id != 0 {
+			out = append(out, t.spans[i])
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].start != out[j].start {
+			return out[i].start < out[j].start
+		}
+		return out[i].id < out[j].id
+	})
+	return out
+}
+
+// WriteChromeTrace renders the buffer as Chrome trace-event JSON, the
+// format Perfetto (https://ui.perfetto.dev) and about://tracing open
+// directly. One metadata event names each track after its root span, then
+// every span becomes a complete ("X") event with microsecond timestamps
+// and its attributes under args. Events are ordered by (start, id), so
+// output for a serial run is deterministic up to the timestamp values.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	spans := t.snapshot()
+	events := make([]json.RawMessage, 0, len(spans)+8)
+
+	// Name each track after the first (earliest) span that opens it.
+	named := map[uint64]bool{}
+	for _, sp := range spans {
+		if named[sp.track] {
+			continue
+		}
+		named[sp.track] = true
+		raw, err := json.Marshal(struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			PID  int               `json:"pid"`
+			TID  uint64            `json:"tid"`
+			Args map[string]string `json:"args"`
+		}{Name: "thread_name", Ph: "M", PID: 1, TID: sp.track,
+			Args: map[string]string{"name": sp.name}})
+		if err != nil {
+			return err
+		}
+		events = append(events, raw)
+	}
+
+	for _, sp := range spans {
+		dur := sp.dur
+		incomplete := dur < 0
+		if incomplete {
+			dur = 0
+		}
+		ev := chromeEvent{
+			Name: sp.name,
+			Cat:  "obs",
+			Ph:   "X",
+			TS:   float64(sp.start) / 1e3,
+			PID:  1,
+			TID:  sp.track,
+		}
+		d := float64(dur) / 1e3
+		ev.Dur = &d
+		if sp.nattrs > 0 || incomplete {
+			ev.Args = make(map[string]int64, sp.nattrs+1)
+			for i := int32(0); i < sp.nattrs; i++ {
+				ev.Args[sp.attrs[i].key] = sp.attrs[i].val
+			}
+			if incomplete {
+				ev.Args["incomplete"] = 1
+			}
+		}
+		raw, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		events = append(events, raw)
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeFile{TraceEvents: events, DisplayTimeUnit: "ns"})
+}
+
+// DumpChromeTrace writes the Chrome trace-event JSON to a file (the
+// -trace flag's backend).
+func (t *Tracer) DumpChromeTrace(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// TreeOptions configures WriteTree. With Durations off the dump is a pure
+// function of the span structure (names, nesting, attributes, order for a
+// serial run), which is what golden tests pin.
+type TreeOptions struct {
+	Durations bool
+}
+
+// WriteTree renders the buffer as an indented parent/child tree, two
+// spaces per level:
+//
+//	tqq.generate [users=4000] (12.3ms)
+//	  profiles
+//	    profiles_shard [shard=0]
+//
+// Roots and siblings are ordered by (start time, span id); spans whose
+// parent was dropped are promoted to roots. A trailing "dropped N spans"
+// line reports buffer overflow.
+func (t *Tracer) WriteTree(w io.Writer, opt TreeOptions) error {
+	spans := t.snapshot()
+	index := make(map[uint64]int, len(spans))
+	for i, sp := range spans {
+		index[sp.id] = i
+	}
+	children := make([][]int, len(spans))
+	var roots []int
+	for i, sp := range spans {
+		if p, ok := index[sp.parent]; ok && sp.parent != 0 {
+			children[p] = append(children[p], i)
+		} else {
+			roots = append(roots, i)
+		}
+	}
+	// snapshot order is already (start, id); appends preserve it.
+	var rec func(i, depth int) error
+	rec = func(i, depth int) error {
+		sp := spans[i]
+		var b strings.Builder
+		for d := 0; d < depth; d++ {
+			b.WriteString("  ")
+		}
+		b.WriteString(sp.name)
+		if sp.nattrs > 0 {
+			b.WriteString(" [")
+			for a := int32(0); a < sp.nattrs; a++ {
+				if a > 0 {
+					b.WriteByte(' ')
+				}
+				fmt.Fprintf(&b, "%s=%d", sp.attrs[a].key, sp.attrs[a].val)
+			}
+			b.WriteByte(']')
+		}
+		if opt.Durations {
+			if sp.dur < 0 {
+				b.WriteString(" (open)")
+			} else {
+				fmt.Fprintf(&b, " (%v)", time.Duration(sp.dur).Round(time.Microsecond))
+			}
+		}
+		b.WriteByte('\n')
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+		for _, c := range children[i] {
+			if err := rec(c, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, r := range roots {
+		if err := rec(r, 0); err != nil {
+			return err
+		}
+	}
+	if d := t.Dropped(); d > 0 {
+		if _, err := fmt.Fprintf(w, "dropped %d spans\n", d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Tree returns WriteTree's output as a string (test convenience).
+func (t *Tracer) Tree(opt TreeOptions) string {
+	var b strings.Builder
+	_ = t.WriteTree(&b, opt)
+	return b.String()
+}

@@ -1,0 +1,181 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestNilSafety pins the off-by-default contract: a nil tracer and the
+// zero Span must be no-ops on every method, so instrumented code can run
+// unconditionally.
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	s := tr.Start("root")
+	if s.Active() {
+		t.Fatal("nil tracer produced an active span")
+	}
+	s.Attr("k", 1)
+	c := s.Child("child")
+	c.End()
+	s.Fork("fork").End()
+	s.ChildOn(tr.NewTrack(), "on").End()
+	s.End()
+	if tr.Len() != 0 || tr.Dropped() != 0 {
+		t.Fatalf("nil tracer counted spans: len=%d dropped=%d", tr.Len(), tr.Dropped())
+	}
+	if got := tr.Tree(TreeOptions{}); got != "" {
+		t.Fatalf("nil tracer tree = %q", got)
+	}
+	var b strings.Builder
+	if err := tr.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTreeGolden pins the deterministic plain-text dump for a hand-built
+// span structure: nesting, attribute rendering, sibling order by start
+// time, and orphan promotion are all part of the format contract.
+func TestTreeGolden(t *testing.T) {
+	tr := New(64)
+	root := tr.Start("root")
+	root.Attr("users", 4000)
+	a := root.Child("stage_a")
+	a.Attr("shard", 0)
+	a.Attr("edges", 123)
+	a.End()
+	b := root.Fork("stage_b")
+	b.Child("leaf").End()
+	b.End()
+	root.End()
+	lone := tr.Start("solo")
+	lone.End()
+
+	want := strings.Join([]string{
+		"root [users=4000]",
+		"  stage_a [shard=0 edges=123]",
+		"  stage_b",
+		"    leaf",
+		"solo",
+		"",
+	}, "\n")
+	if got := tr.Tree(TreeOptions{}); got != want {
+		t.Fatalf("tree mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	// With durations every line gains a parenthesized suffix.
+	for _, line := range strings.Split(strings.TrimSuffix(tr.Tree(TreeOptions{Durations: true}), "\n"), "\n") {
+		if !strings.HasSuffix(line, ")") {
+			t.Fatalf("line %q lacks a duration", line)
+		}
+	}
+}
+
+// TestDropWhenFull verifies the bounded-buffer policy: beyond capacity
+// spans are dropped and counted, never overwriting recorded history.
+func TestDropWhenFull(t *testing.T) {
+	tr := New(64)
+	for i := 0; i < 100; i++ {
+		s := tr.Start("s")
+		s.End()
+	}
+	if tr.Len() != 64 {
+		t.Fatalf("len = %d, want 64", tr.Len())
+	}
+	if tr.Dropped() != 36 {
+		t.Fatalf("dropped = %d, want 36", tr.Dropped())
+	}
+	if !strings.Contains(tr.Tree(TreeOptions{}), "dropped 36 spans") {
+		t.Fatal("tree does not report drops")
+	}
+	// Children of dropped spans are themselves dropped handles.
+	if c := (Span{}).Child("x"); c.Active() {
+		t.Fatal("child of zero span is active")
+	}
+}
+
+// TestAttrBound verifies attributes beyond MaxAttrs are discarded.
+func TestAttrBound(t *testing.T) {
+	tr := New(64)
+	s := tr.Start("s")
+	for i := 0; i < MaxAttrs+3; i++ {
+		s.Attr("k", int64(i))
+	}
+	s.End()
+	line := strings.TrimSuffix(tr.Tree(TreeOptions{}), "\n")
+	if got := strings.Count(line, "k="); got != MaxAttrs {
+		t.Fatalf("kept %d attrs, want %d: %s", got, MaxAttrs, line)
+	}
+}
+
+// validateChrome runs the exported validator (see validate.go) and fails
+// the test on any violated Perfetto invariant.
+func validateChrome(t *testing.T, blob []byte) ChromeTraceStats {
+	t.Helper()
+	stats, err := ValidateChromeTrace(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stats
+}
+
+// TestChromeExport exercises the exporter against a concurrent recording
+// session and validates the output invariants.
+func TestChromeExport(t *testing.T) {
+	tr := New(1024)
+	root := tr.Start("run")
+	root.Attr("targets", 7)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		lane := tr.NewTrack()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				s := root.ChildOn(lane, "task")
+				s.Attr("i", int64(i))
+				s.Child("inner").End()
+				s.End()
+			}
+		}()
+	}
+	wg.Wait()
+	root.End()
+
+	var b strings.Builder
+	if err := tr.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	stats := validateChrome(t, []byte(b.String()))
+	if stats.Names["task"] != 80 || stats.Names["inner"] != 80 || stats.Names["run"] != 1 {
+		t.Fatalf("unexpected event counts: %v", stats.Names)
+	}
+	if stats.Tracks != 5 { // root's track plus one lane per worker
+		t.Fatalf("tracks = %d, want 5", stats.Tracks)
+	}
+	if !strings.Contains(b.String(), `"thread_name"`) {
+		t.Fatal("no track metadata emitted")
+	}
+}
+
+// TestConcurrentRecording hammers one tracer from many goroutines (run
+// under -race by make verify) and checks accounting stays exact.
+func TestConcurrentRecording(t *testing.T) {
+	tr := New(256)
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 100
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				s := tr.Start("w")
+				s.Attr("i", int64(i))
+				s.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tr.Len() + int(tr.Dropped()); got != goroutines*per {
+		t.Fatalf("recorded+dropped = %d, want %d", got, goroutines*per)
+	}
+}

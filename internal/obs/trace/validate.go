@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// ChromeTraceStats summarizes a trace that passed ValidateChromeTrace,
+// so callers can assert on coverage (which spans were recorded, on how
+// many tracks) without re-parsing the JSON.
+type ChromeTraceStats struct {
+	// Spans counts "X" (complete) events, i.e. recorded spans.
+	Spans int
+	// Tracks counts distinct tid values among span events.
+	Tracks int
+	// Names maps span name -> occurrence count.
+	Names map[string]int
+}
+
+// ValidateChromeTrace checks the invariants a Chrome trace-event dump
+// must satisfy for Perfetto to load it sensibly: the JSON parses, every
+// event is an "X" span or "M" metadata record, timestamps and durations
+// are non-negative, timestamps are monotonic in export order, and spans
+// sharing a track nest like a stack (a span never overflows the
+// still-open span beneath it). It is used both by this package's tests
+// and by integration tests that trace a real pipeline run.
+func ValidateChromeTrace(blob []byte) (ChromeTraceStats, error) {
+	var d struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			TID  uint64  `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	stats := ChromeTraceStats{Names: map[string]int{}}
+	if err := json.Unmarshal(blob, &d); err != nil {
+		return stats, fmt.Errorf("trace JSON does not parse: %w", err)
+	}
+	lastTS := -1.0
+	type open struct{ end float64 }
+	stacks := map[uint64][]open{}
+	tracks := map[uint64]bool{}
+	for _, ev := range d.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			continue
+		case "X":
+		default:
+			return stats, fmt.Errorf("unexpected phase %q in event %q", ev.Ph, ev.Name)
+		}
+		if ev.TS < 0 || ev.Dur < 0 {
+			return stats, fmt.Errorf("negative time in %q: ts=%g dur=%g", ev.Name, ev.TS, ev.Dur)
+		}
+		if ev.TS < lastTS {
+			return stats, fmt.Errorf("timestamps not monotonic at %q: %g after %g", ev.Name, ev.TS, lastTS)
+		}
+		lastTS = ev.TS
+		stats.Spans++
+		stats.Names[ev.Name]++
+		tracks[ev.TID] = true
+		// Pop spans that finished before this one starts, then require
+		// containment in the innermost still-open span of the track. The
+		// small tolerance absorbs the microsecond rounding of export.
+		st := stacks[ev.TID]
+		for len(st) > 0 && ev.TS >= st[len(st)-1].end {
+			st = st[:len(st)-1]
+		}
+		if len(st) > 0 && ev.TS+ev.Dur > st[len(st)-1].end+1e-3 {
+			return stats, fmt.Errorf("span %q [%g,%g] overflows its enclosing span (ends %g) on track %d",
+				ev.Name, ev.TS, ev.TS+ev.Dur, st[len(st)-1].end, ev.TID)
+		}
+		stacks[ev.TID] = append(st, open{end: ev.TS + ev.Dur})
+	}
+	stats.Tracks = len(tracks)
+	return stats, nil
+}

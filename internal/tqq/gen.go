@@ -9,6 +9,7 @@ import (
 
 	"github.com/hinpriv/dehin/internal/hin"
 	"github.com/hinpriv/dehin/internal/obs"
+	"github.com/hinpriv/dehin/internal/obs/trace"
 	"github.com/hinpriv/dehin/internal/randx"
 )
 
@@ -100,6 +101,19 @@ type Config struct {
 	// random streams, so the generated dataset stays byte-identical with
 	// and without a registry.
 	Metrics *obs.Registry
+
+	// Trace attaches the generator to a span tracer
+	// (internal/obs/trace): one root span per run, a child span per
+	// stage, and per-task spans (shard index, link type, edge counts) on
+	// one timeline lane per pool worker, so an exported trace shows which
+	// shard straggled and how the pool actually scheduled. Nil (the
+	// default) disables tracing; like Metrics, the tracer never touches a
+	// random stream.
+	Trace *trace.Tracer
+
+	// Log receives levelled progress events (run start/done with sizes at
+	// Debug/Info). Nil disables logging.
+	Log *obs.Logger
 }
 
 // DefaultConfig returns a configuration calibrated to the paper's reported
@@ -194,11 +208,20 @@ func Generate(cfg Config) (*Dataset, error) {
 		t := cfg.Metrics.Histogram("tqq_generate_ns").Time()
 		defer t.Stop()
 	}
+	root := cfg.Trace.Start("tqq.generate")
+	root.Attr("users", int64(cfg.Users))
+	root.Attr("communities", int64(len(cfg.Communities)))
+	defer root.End()
+	cfg.Log.Debug("tqq: generate start",
+		"users", cfg.Users, "shards", userShards(cfg.Users),
+		"communities", len(cfg.Communities))
 	rng := randx.New(cfg.Seed)
 	schema := TargetSchema()
 	b := hin.NewBuilder(schema)
 
-	genProfiles(b, cfg, rng.Split(1))
+	stage := root.Child("profiles")
+	genProfiles(b, cfg, rng.Split(1), stage)
+	stage.End()
 
 	// Reserve community members: disjoint random user sets.
 	comms, inCommunity, err := placeCommunities(cfg, rng.Split(2))
@@ -220,13 +243,26 @@ func Generate(cfg Config) (*Dataset, error) {
 	}
 	tasks = append(tasks, planBackground(schema, cfg, inCommunity, rng.Split(3))...)
 
+	stage = root.Child("edges")
+	lanes := workerLanes(cfg.Trace, cfg.Workers, len(tasks))
 	edgeTaskNs := stageTaskHist(cfg, "edges")
-	runTasks(cfg.Workers, len(tasks), func(i int) {
+	runTasks(cfg.Workers, len(tasks), func(w, i int) {
+		var sp trace.Span
+		if lanes != nil {
+			sp = stage.ChildOn(lanes[w], "edge_task")
+			sp.Attr("task", int64(i))
+			sp.Attr("link_type", int64(tasks[i].lt))
+		}
 		tm := edgeTaskNs.Time()
 		t := tasks[i]
 		t.out, t.err = t.gen()
 		tm.Stop()
+		if sp.Active() {
+			sp.Attr("edges", int64(len(t.out)))
+			sp.End()
+		}
 	})
+	stage.End()
 	var emitted int64
 	for _, t := range tasks {
 		if t.err != nil {
@@ -237,15 +273,24 @@ func Generate(cfg Config) (*Dataset, error) {
 	if cfg.Metrics != nil {
 		cfg.Metrics.Counter("tqq_generate_edges_total").Add(emitted)
 	}
-	if err := mergeEdges(b, schema, tasks); err != nil {
-		return nil, err
-	}
-
-	g, err := b.Build()
+	stage = root.Child("merge")
+	err = mergeEdges(b, schema, tasks)
+	stage.End()
 	if err != nil {
 		return nil, err
 	}
-	items, rec := genRecLog(cfg, rng.Split(4))
+
+	stage = root.Child("build")
+	g, err := b.Build()
+	stage.End()
+	if err != nil {
+		return nil, err
+	}
+	stage = root.Child("reclog")
+	items, rec := genRecLog(cfg, rng.Split(4), stage)
+	stage.End()
+	cfg.Log.Info("tqq: generate done",
+		"users", cfg.Users, "edges", emitted, "rec_entries", len(rec))
 	return &Dataset{Graph: g, Items: items, Rec: rec, Communities: comms}, nil
 }
 
@@ -261,17 +306,14 @@ type edgeTask struct {
 // runTasks executes n independent tasks on a worker pool of the given
 // size (0 = GOMAXPROCS). Tasks must be independent: they draw randomness
 // only from streams derived before dispatch and write only to their own
-// slots, so the schedule cannot affect the result.
-func runTasks(workers, n int, task func(i int)) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
+// slots, so the schedule cannot affect the result. The callback receives
+// the pool worker index (stable per goroutine, always 0 when serial) so
+// instrumentation can attribute work to timeline lanes.
+func runTasks(workers, n int, task func(worker, i int)) {
+	workers = poolSize(workers, n)
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			task(i)
+			task(0, i)
 		}
 		return
 	}
@@ -279,18 +321,48 @@ func runTasks(workers, n int, task func(i int)) {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				task(i)
+				task(w, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
+}
+
+// poolSize resolves the effective worker count runTasks will use for n
+// tasks: 0 means GOMAXPROCS, never more workers than tasks, at least 1.
+func poolSize(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// workerLanes allocates one tracer track per pool worker, so the spans of
+// concurrently running tasks land on stable timeline lanes (Perfetto
+// renders one row per track and expects same-row spans to nest). Returns
+// nil when tracing is off - the single branch the disabled path pays.
+func workerLanes(tr *trace.Tracer, workers, n int) []trace.Track {
+	if tr == nil {
+		return nil
+	}
+	lanes := make([]trace.Track, poolSize(workers, n))
+	for i := range lanes {
+		lanes[i] = tr.NewTrack()
+	}
+	return lanes
 }
 
 // userShards returns the number of fixed-width user shards for cfg.
@@ -358,7 +430,7 @@ type profileShard struct {
 // from the stage stream) into a private buffer; the Builder is then fed
 // in shard order, so entity ids and attributes never depend on
 // scheduling.
-func genProfiles(b *hin.Builder, cfg Config, rng *randx.RNG) {
+func genProfiles(b *hin.Builder, cfg Config, rng *randx.RNG, stage trace.Span) {
 	gender, err := randx.NewAlias(cfg.GenderWeights)
 	if err != nil {
 		panic(err) // validated already
@@ -371,7 +443,13 @@ func genProfiles(b *hin.Builder, cfg Config, rng *randx.RNG) {
 	rngs := rng.Fork(nShards)
 	shards := make([]profileShard, nShards)
 	shardNs := stageTaskHist(cfg, "profiles")
-	runTasks(cfg.Workers, nShards, func(s int) {
+	lanes := workerLanes(cfg.Trace, cfg.Workers, nShards)
+	runTasks(cfg.Workers, nShards, func(w, s int) {
+		if lanes != nil {
+			sp := stage.ChildOn(lanes[w], "profiles_shard")
+			sp.Attr("shard", int64(s))
+			defer sp.End()
+		}
 		tm := shardNs.Time()
 		defer tm.Stop()
 		lo := s * genShardUsers
@@ -751,7 +829,7 @@ type recShard struct {
 // genRecLog synthesizes items and the recommendation preference log. Items
 // are deterministic; log entries are drawn per user shard from forked
 // streams and concatenated in shard order.
-func genRecLog(cfg Config, rng *randx.RNG) ([]Item, []RecEntry) {
+func genRecLog(cfg Config, rng *randx.RNG, stage trace.Span) ([]Item, []RecEntry) {
 	if cfg.Items == 0 {
 		return nil, nil
 	}
@@ -773,9 +851,14 @@ func genRecLog(cfg Config, rng *randx.RNG) ([]Item, []RecEntry) {
 	rngs := rng.Fork(nShards)
 	shards := make([]recShard, nShards)
 	shardNs := stageTaskHist(cfg, "reclog")
-	runTasks(cfg.Workers, nShards, func(s int) {
+	lanes := workerLanes(cfg.Trace, cfg.Workers, nShards)
+	runTasks(cfg.Workers, nShards, func(w, s int) {
+		var sp trace.Span
+		if lanes != nil {
+			sp = stage.ChildOn(lanes[w], "reclog_shard")
+			sp.Attr("shard", int64(s))
+		}
 		tm := shardNs.Time()
-		defer tm.Stop()
 		lo := s * genShardUsers
 		hi := min(lo+genShardUsers, cfg.Users)
 		r := rngs[s]
@@ -788,6 +871,11 @@ func genRecLog(cfg Config, rng *randx.RNG) ([]Item, []RecEntry) {
 					Accepted: r.Bool(0.3),
 				})
 			}
+		}
+		tm.Stop()
+		if sp.Active() {
+			sp.Attr("entries", int64(len(shards[s].rec)))
+			sp.End()
 		}
 	})
 	var rec []RecEntry
