@@ -10,12 +10,12 @@ FUZZTIME ?= 30s
 #   BENCH_DIFF_TOL   allowed ns/op regression in percent (allocs/op growth
 #                    always fails); raise on noisy shared machines
 #   SKIP_BENCH_DIFF  set non-empty to skip the gate entirely
-BENCH_BASELINE ?= BENCH_3.json
+BENCH_BASELINE ?= BENCH_4.json
 BENCH_DIFF_MATCH ?= BenchmarkDeanonymizeSingle|BenchmarkDeanonymizeInstrumented
 BENCH_DIFF_TOL ?= 15
 BENCH_VERIFY_OUT ?= /tmp/dehin-bench-verify.json
 
-.PHONY: build test verify bench-diff fuzz bench benchdump
+.PHONY: build test lint verify bench-diff fuzz bench benchdump
 
 build:
 	$(GO) build ./...
@@ -23,13 +23,24 @@ build:
 test:
 	$(GO) test ./...
 
-# verify is the CI gate: static checks, the race-detector run over the
-# packages with real concurrency (the sharded generator, the parallel
-# workbench/registry, the obs metrics registry, and the span tracer), and
-# the bench-regression gate on the zero-allocation query benchmarks. Keep
-# it green before committing.
+# lint runs hinlint, the repository's custom analyzer suite (see LINT.md):
+# determinism, nilsafe, hotpath, and logdiscipline over every package.
+# Must run from the module root - package loading resolves imports through
+# the go command.
+lint:
+	$(GO) run ./cmd/hinlint ./...
+
+# verify is the CI gate: static checks (vet, then vet restricted to the
+# mutex-copy and loop-capture analyzers so they stay on even if the default
+# set changes, then hinlint), the race-detector run over the packages with
+# real concurrency (the sharded generator, the parallel workbench/registry,
+# the obs metrics registry, and the span tracer), and the bench-regression
+# gate on the zero-allocation query benchmarks. Keep it green before
+# committing.
 verify:
 	$(GO) vet ./...
+	$(GO) vet -copylocks -loopclosure ./...
+	$(MAKE) lint
 	$(GO) test -race ./internal/experiments ./internal/tqq ./internal/obs ./internal/obs/trace
 ifeq ($(strip $(SKIP_BENCH_DIFF)),)
 	$(MAKE) bench-diff
@@ -53,4 +64,4 @@ bench:
 
 # benchdump refreshes the committed benchmark snapshot (see BENCH_*.json).
 benchdump:
-	$(GO) run ./cmd/benchdump -pkg ./... -out BENCH_3.json
+	$(GO) run ./cmd/benchdump -pkg ./... -out BENCH_4.json

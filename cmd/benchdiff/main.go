@@ -18,12 +18,18 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"regexp"
 	"sort"
 
 	"github.com/hinpriv/dehin/internal/benchjson"
+	"github.com/hinpriv/dehin/internal/obs"
 )
+
+// logger carries the gate's error reporting (stdout is reserved for the
+// per-benchmark comparison table).
+var logger = obs.NewLogger(os.Stderr, slog.LevelInfo)
 
 func main() {
 	var (
@@ -34,22 +40,22 @@ func main() {
 	)
 	flag.Parse()
 	if *oldPath == "" || *newPath == "" {
-		fmt.Fprintln(os.Stderr, "benchdiff: -old and -new are required")
+		logger.Error("-old and -new are required")
 		os.Exit(2)
 	}
 	re, err := regexp.Compile(*match)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchdiff: bad -match: %v\n", err)
+		logger.Error("bad -match", "err", err)
 		os.Exit(2)
 	}
 	oldM, err := benchjson.Load(*oldPath)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		logger.Error("baseline load failed", "err", err)
 		os.Exit(2)
 	}
 	newM, err := benchjson.Load(*newPath)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		logger.Error("candidate load failed", "err", err)
 		os.Exit(2)
 	}
 
@@ -61,7 +67,7 @@ func main() {
 	}
 	sort.Strings(names)
 	if len(names) == 0 {
-		fmt.Fprintf(os.Stderr, "benchdiff: -match %q selects no benchmark in %s\n", *match, *newPath)
+		logger.Error("-match selects no benchmark", "match", *match, "in", *newPath)
 		os.Exit(1)
 	}
 
@@ -93,7 +99,7 @@ func main() {
 			name, od.NsPerOp, nw.NsPerOp, deltaPct, od.AllocsOp, nw.AllocsOp, verdict)
 	}
 	if failed {
-		fmt.Fprintln(os.Stderr, "benchdiff: regression detected")
+		logger.Error("regression detected")
 		os.Exit(1)
 	}
 }

@@ -18,13 +18,19 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/exec"
 	"strconv"
 	"strings"
 
 	"github.com/hinpriv/dehin/internal/benchjson"
+	"github.com/hinpriv/dehin/internal/obs"
 )
+
+// logger carries the command's error reporting (stdout is reserved for
+// the passthrough of go test's benchmark output).
+var logger = obs.NewLogger(os.Stderr, slog.LevelInfo)
 
 func main() {
 	var (
@@ -48,17 +54,17 @@ func main() {
 	raw, err := cmd.Output()
 	fmt.Print(string(raw))
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchdump: go %s: %v\n", strings.Join(args, " "), err)
+		logger.Error("go test failed", "args", strings.Join(args, " "), "err", err)
 		os.Exit(1)
 	}
 
 	results := benchjson.Parse(string(raw))
 	if len(results) == 0 {
-		fmt.Fprintln(os.Stderr, "benchdump: no benchmark lines in output")
+		logger.Error("no benchmark lines in output")
 		os.Exit(1)
 	}
 	if err := benchjson.Write(*out, results); err != nil {
-		fmt.Fprintf(os.Stderr, "benchdump: %v\n", err)
+		logger.Error("snapshot write failed", "err", err)
 		os.Exit(1)
 	}
 	fmt.Printf("benchdump: wrote %d benchmarks to %s\n", len(results), *out)

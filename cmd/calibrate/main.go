@@ -133,6 +133,6 @@ func measure(aux, target, yobSpan int, bgDeg float64, seed uint64) {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "calibrate:", err)
+	logger.Error("calibrate failed", "err", err)
 	os.Exit(1)
 }

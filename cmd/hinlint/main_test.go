@@ -1,0 +1,55 @@
+package main
+
+import (
+	"encoding/json"
+	"go/token"
+	"testing"
+
+	"github.com/hinpriv/dehin/internal/lint"
+)
+
+// TestRenderJSON pins the hand-rolled emitter's schema: ordered fields,
+// proper escaping, decodable output, and "[]" for no findings.
+func TestRenderJSON(t *testing.T) {
+	if got := renderJSON(nil, "/w"); got != "[]\n" {
+		t.Fatalf("empty render = %q, want %q", got, "[]\n")
+	}
+
+	diags := []lint.Diagnostic{
+		{
+			Pos:     token.Position{Filename: "/w/a/b.go", Line: 3, Column: 7},
+			Check:   "nilsafe",
+			Message: `method "X" dereferences receiver`,
+		},
+		{
+			Pos:     token.Position{Filename: "/elsewhere/c.go", Line: 1, Column: 1},
+			Check:   "determinism",
+			Message: "time.Now reads the wall clock",
+		},
+	}
+	var decoded []struct {
+		File    string `json:"file"`
+		Line    int    `json:"line"`
+		Col     int    `json:"col"`
+		Check   string `json:"check"`
+		Message string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(renderJSON(diags, "/w")), &decoded); err != nil {
+		t.Fatalf("output does not decode: %v", err)
+	}
+	if len(decoded) != 2 {
+		t.Fatalf("decoded %d diagnostics, want 2", len(decoded))
+	}
+	if decoded[0].File != "a/b.go" {
+		t.Errorf("path under cwd not relativized: %q", decoded[0].File)
+	}
+	if decoded[1].File != "/elsewhere/c.go" {
+		t.Errorf("path outside cwd rewritten: %q", decoded[1].File)
+	}
+	if decoded[0].Line != 3 || decoded[0].Col != 7 || decoded[0].Check != "nilsafe" {
+		t.Errorf("fields mangled: %+v", decoded[0])
+	}
+	if decoded[0].Message != `method "X" dereferences receiver` {
+		t.Errorf("quote escaping broken: %q", decoded[0].Message)
+	}
+}

@@ -10,12 +10,14 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
+	"os"
 	"strings"
 
 	"github.com/hinpriv/dehin/internal/anonymize"
 	"github.com/hinpriv/dehin/internal/dehin"
 	"github.com/hinpriv/dehin/internal/hin"
+	"github.com/hinpriv/dehin/internal/obs"
 	"github.com/hinpriv/dehin/internal/randx"
 	"github.com/hinpriv/dehin/internal/tqq"
 )
@@ -26,7 +28,7 @@ func main() {
 	cfg.Communities = []tqq.CommunitySpec{{Size: 800, Density: 0.01}}
 	world, err := tqq.Generate(cfg)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 
 	// The release: sampled community, anonymized IDs, PLUS the
@@ -34,11 +36,11 @@ func main() {
 	// sensitive payload - the public site never shows rejections).
 	target, err := tqq.CommunityTarget(world, 0, randx.New(3))
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	release, err := anonymize.RandomizeIDs(target.Graph, 17)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	truth := make([]hin.EntityID, len(release.ToOrig))
 	releasedOf := make(map[hin.EntityID]hin.EntityID) // world id -> released id
@@ -76,7 +78,7 @@ func main() {
 		UseIndex:    true,
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	deanonymized := 0
 	shown := 0
@@ -120,4 +122,14 @@ func main() {
 	}
 	fmt.Println("\neach identified user can now be spear-phished with a fake banking interface -")
 	fmt.Println("the privacy risk the paper formalizes.")
+}
+
+// logger reports failures through the repo's nil-safe structured handle;
+// the logdiscipline lint check forbids the std log package outside obs.
+var logger = obs.NewLogger(os.Stderr, slog.LevelInfo)
+
+// fatal logs err and exits nonzero; the examples have no recovery path.
+func fatal(err error) {
+	logger.Error(err.Error())
+	os.Exit(1)
 }

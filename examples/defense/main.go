@@ -10,11 +10,13 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
+	"os"
 
 	"github.com/hinpriv/dehin/internal/anonymize"
 	"github.com/hinpriv/dehin/internal/dehin"
 	"github.com/hinpriv/dehin/internal/hin"
+	"github.com/hinpriv/dehin/internal/obs"
 	"github.com/hinpriv/dehin/internal/randx"
 	"github.com/hinpriv/dehin/internal/tqq"
 )
@@ -24,15 +26,15 @@ func main() {
 	cfg.Communities = []tqq.CommunitySpec{{Size: 500, Density: 0.01}}
 	world, err := tqq.Generate(cfg)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	target, err := tqq.CommunityTarget(world, 0, randx.New(11))
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	release, err := anonymize.RandomizeIDs(target.Graph, 23)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	truth := make([]hin.EntityID, len(release.ToOrig))
 	for i, t0 := range release.ToOrig {
@@ -71,11 +73,11 @@ func main() {
 	for _, opt := range options {
 		hardened, err := opt.harden(release.Graph)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		util, err := anonymize.MeasureUtility(release.Graph, hardened)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		attack, err := dehin.NewAttack(world.Graph, dehin.Config{
 			MaxDistance:            2,
@@ -85,11 +87,11 @@ func main() {
 			FallbackProfileOnly:    opt.reconfig,
 		})
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		res, err := attack.Run(hardened, truth)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Printf("%-32s  %9.1f%%  %12d  %12d\n",
 			opt.name, res.Precision*100, util.EdgesAdded, util.WeightL1+util.FakeWeightMass)
@@ -98,4 +100,14 @@ func main() {
 	fmt.Println("strength distribution to do it; every constant-weight or structural")
 	fmt.Println("hardening leaves most users re-identifiable once the attacker strips")
 	fmt.Println("majority-strength links (the paper's Section 6.2 re-configuration).")
+}
+
+// logger reports failures through the repo's nil-safe structured handle;
+// the logdiscipline lint check forbids the std log package outside obs.
+var logger = obs.NewLogger(os.Stderr, slog.LevelInfo)
+
+// fatal logs err and exits nonzero; the examples have no recovery path.
+func fatal(err error) {
+	logger.Error(err.Error())
+	os.Exit(1)
 }

@@ -11,11 +11,13 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
+	"os"
 
 	"github.com/hinpriv/dehin/internal/anonymize"
 	"github.com/hinpriv/dehin/internal/dehin"
 	"github.com/hinpriv/dehin/internal/hin"
+	"github.com/hinpriv/dehin/internal/obs"
 	"github.com/hinpriv/dehin/internal/randx"
 	"github.com/hinpriv/dehin/internal/tqq"
 )
@@ -28,7 +30,7 @@ func main() {
 	ecfg.FollowAvgDeg = 8
 	events, err := tqq.GenerateEvents(ecfg)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	userType, _ := events.Schema().EntityTypeID("User")
 	fmt.Printf("event network: %d entities (%d users), %d typed links\n",
@@ -38,7 +40,7 @@ func main() {
 	// short-circuited into four user-user link types.
 	aux, _, err := tqq.ProjectEvents(events)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Printf("projected target schema network: %d users, %d links\n\n",
 		aux.NumEntities(), aux.NumEdgesTotal())
@@ -52,11 +54,11 @@ func main() {
 	}
 	sample, orig, err := aux.Induced(users)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	release, err := anonymize.RandomizeIDs(sample, 13)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	truth := make([]hin.EntityID, len(release.ToOrig))
 	for i, t0 := range release.ToOrig {
@@ -71,11 +73,11 @@ func main() {
 			UseIndex:    true,
 		})
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		res, err := attack.Run(release.Graph, truth)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Printf("  %-28s precision %5.1f%%   reduction %7.3f%%\n",
 			name, res.Precision*100, res.ReductionRate*100)
@@ -89,4 +91,14 @@ func main() {
 	run("all four (heterogeneous)", nil)
 	fmt.Println("\nthe single-type attacks still work - the homogeneous special case -")
 	fmt.Println("but combining heterogeneous links is consistently stronger.")
+}
+
+// logger reports failures through the repo's nil-safe structured handle;
+// the logdiscipline lint check forbids the std log package outside obs.
+var logger = obs.NewLogger(os.Stderr, slog.LevelInfo)
+
+// fatal logs err and exits nonzero; the examples have no recovery path.
+func fatal(err error) {
+	logger.Error(err.Error())
+	os.Exit(1)
 }

@@ -5,11 +5,13 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
+	"os"
 
 	"github.com/hinpriv/dehin/internal/anonymize"
 	"github.com/hinpriv/dehin/internal/dehin"
 	"github.com/hinpriv/dehin/internal/hin"
+	"github.com/hinpriv/dehin/internal/obs"
 	"github.com/hinpriv/dehin/internal/randx"
 	"github.com/hinpriv/dehin/internal/tqq"
 )
@@ -21,7 +23,7 @@ func main() {
 	cfg.Communities = []tqq.CommunitySpec{{Size: 1000, Density: 0.01}}
 	world, err := tqq.Generate(cfg)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Printf("auxiliary network: %d users, %d typed links\n",
 		world.Graph.NumEntities(), world.Graph.NumEdgesTotal())
@@ -30,11 +32,11 @@ func main() {
 	//    anonymizes it KDD-Cup-style (random IDs, remapped tag IDs).
 	target, err := tqq.CommunityTarget(world, 0, randx.New(7))
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	release, err := anonymize.RandomizeIDs(target.Graph, 99)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	density, _ := hin.Density(release.Graph)
 	fmt.Printf("released target:   %d users, density %.4f, IDs anonymized\n",
@@ -48,7 +50,7 @@ func main() {
 		UseIndex:    true,
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	// Ground truth for scoring only: released id -> sampled id -> world id.
 	truth := make([]hin.EntityID, len(release.ToOrig))
@@ -57,7 +59,7 @@ func main() {
 	}
 	res, err := attack.Run(release.Graph, truth)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 
 	fmt.Printf("\nDeHIN (max distance 2):\n")
@@ -72,4 +74,14 @@ func main() {
 			break
 		}
 	}
+}
+
+// logger reports failures through the repo's nil-safe structured handle;
+// the logdiscipline lint check forbids the std log package outside obs.
+var logger = obs.NewLogger(os.Stderr, slog.LevelInfo)
+
+// fatal logs err and exits nonzero; the examples have no recovery path.
+func fatal(err error) {
+	logger.Error(err.Error())
+	os.Exit(1)
 }

@@ -10,10 +10,12 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
+	"os"
 	"sort"
 
 	"github.com/hinpriv/dehin/internal/hin"
+	"github.com/hinpriv/dehin/internal/obs"
 	"github.com/hinpriv/dehin/internal/randx"
 	"github.com/hinpriv/dehin/internal/risk"
 	"github.com/hinpriv/dehin/internal/tqq"
@@ -25,11 +27,11 @@ func main() {
 	cfg.Communities = []tqq.CommunitySpec{{Size: 600, Density: 0.01}}
 	world, err := tqq.Generate(cfg)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	target, err := tqq.CommunityTarget(world, 0, randx.New(1))
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	g := target.Graph
 	n := g.NumEntities()
@@ -56,11 +58,11 @@ func main() {
 		c.MaxDistance = d
 		r, err := risk.NetworkRisk(g, c)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		b, err := risk.CardinalityBounds(entC, linkC, d, n)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Printf("  n=%d  measured risk %6.1f%%   Theorem-2 risk ceiling (lower bound) %6.1f%%\n",
 			d, r*100, risk.RiskCeiling(b.LowerLog, n)*100)
@@ -69,7 +71,7 @@ func main() {
 	// 2. Saturation: when does deeper matter no more?
 	cv, err := risk.ConvergenceProfile(g, sigCfg)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Println("\nsaturation (Section 4.4 bottlenecks):")
 	for d, frac := range cv.Converged {
@@ -80,7 +82,7 @@ func main() {
 	//    factor).
 	sigs, err := risk.Signatures(g, sigCfg)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	unit := risk.DatasetRisk(sigs, nil)
 
@@ -141,4 +143,14 @@ func main() {
 	}
 	fmt.Println("\nverdict: do not release with link information intact; either drop link")
 	fmt.Println("types (Section 4.5) or accept the utility cost of varying-weight fakes.")
+}
+
+// logger reports failures through the repo's nil-safe structured handle;
+// the logdiscipline lint check forbids the std log package outside obs.
+var logger = obs.NewLogger(os.Stderr, slog.LevelInfo)
+
+// fatal logs err and exits nonzero; the examples have no recovery path.
+func fatal(err error) {
+	logger.Error(err.Error())
+	os.Exit(1)
 }

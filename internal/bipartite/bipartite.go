@@ -39,6 +39,8 @@ const inf = int32(1<<31 - 1)
 // Match computes the maximum matching size of g, reusing the Matcher's
 // working arrays. The assignment is readable via MatchL until the next
 // call.
+//
+//hin:hot
 func (m *Matcher) Match(g Graph) int {
 	m.g = g
 	m.matchL = resetMatch(m.matchL, g.NLeft)
@@ -83,6 +85,8 @@ func (m *Matcher) MatchL() []int32 { return m.matchL }
 // HasPerfectLeftMatching reports whether a matching saturating every left
 // vertex of g exists, with the same short-circuits as the package-level
 // function.
+//
+//hin:hot
 func (m *Matcher) HasPerfectLeftMatching(g Graph) bool {
 	for l := 0; l < g.NLeft; l++ {
 		if len(g.Adj[l]) == 0 {
@@ -107,6 +111,7 @@ func resetMatch(s []int32, n int) []int32 {
 	return s
 }
 
+//hin:hot
 func (m *Matcher) bfs() bool {
 	m.queue = m.queue[:0]
 	for l := 0; l < m.g.NLeft; l++ {
@@ -133,6 +138,7 @@ func (m *Matcher) bfs() bool {
 	return found
 }
 
+//hin:hot
 func (m *Matcher) dfs(l int32) bool {
 	for _, r := range m.g.Adj[l] {
 		nl := m.matchR[r]

@@ -232,6 +232,8 @@ func (a *Attack) ensureMemo(s *queryScratch, target *hin.Graph) {
 // attribute tuples (several Graph.Attr reads per call) and the same
 // neighbor pair is re-examined once per link type, direction, and parent
 // pair, so a table probe is substantially cheaper than re-evaluating it.
+//
+//hin:hot
 func (a *Attack) emCached(s *queryScratch, target *hin.Graph, tb, ab hin.EntityID) bool {
 	if r, ok := s.memo.get(tb, ab, 0); ok {
 		s.stats.memoHits++
@@ -278,6 +280,8 @@ func (a *Attack) deanonymizeTraced(s *queryScratch, dst []hin.EntityID, target *
 // sampled query span whose stage children record where the query's time
 // went; the zero Span (the usual case) makes every trace call a
 // predictable no-op branch.
+//
+//hin:hot
 func (a *Attack) deanonymizeCore(s *queryScratch, dst []hin.EntityID, target *hin.Graph, tv hin.EntityID, qs trace.Span) []hin.EntityID {
 	ps := qs.Child("profile_candidates")
 	profile := a.profileCandidates(s, target, tv)
@@ -324,6 +328,8 @@ func (a *Attack) deanonymizeCore(s *queryScratch, dst []hin.EntityID, target *hi
 // profileCandidates implements the entity_attribute_match stage of
 // Algorithm 1, via the index when available. The result lives in s.cand
 // and is valid until the scratch's next query.
+//
+//hin:hot
 func (a *Attack) profileCandidates(s *queryScratch, target *hin.Graph, tv hin.EntityID) []hin.EntityID {
 	out := s.cand[:0]
 	if a.index != nil {
@@ -366,6 +372,8 @@ func (a *Attack) quota(deg int) int {
 // evident intent - and what makes distance-n meaningful - is to recurse on
 // the neighbor pair (b'_i, b_i), which is what this does. Results are
 // memoized per (target, candidate, depth) across the whole query.
+//
+//hin:hot
 func (a *Attack) linkMatch(s *queryScratch, target *hin.Graph, n int, tv, av hin.EntityID) bool {
 	if r, ok := s.memo.get(tv, av, n); ok {
 		s.stats.memoHits++
@@ -377,6 +385,7 @@ func (a *Attack) linkMatch(s *queryScratch, target *hin.Graph, n int, tv, av hin
 	return res
 }
 
+//hin:hot
 func (a *Attack) linkMatchUncached(s *queryScratch, target *hin.Graph, n int, tv, av hin.EntityID) bool {
 	for _, lt := range a.cfg.LinkTypes {
 		if !a.directionMatch(s, target, n, tv, av, lt, false) {
@@ -393,6 +402,8 @@ func (a *Attack) linkMatchUncached(s *queryScratch, target *hin.Graph, n int, tv
 // bipartite compatibility graph into the scratch frame of this recursion
 // depth (deeper linkMatch calls use deeper frames, so the build never
 // clobbers an in-progress one).
+//
+//hin:hot
 func (a *Attack) directionMatch(s *queryScratch, target *hin.Graph, n int, tv, av hin.EntityID, lt hin.LinkTypeID, inEdges bool) bool {
 	var tns []hin.EntityID
 	var tws []int32

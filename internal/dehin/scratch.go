@@ -40,6 +40,8 @@ type queryScratch struct {
 // themselves never nest (each fires only after its frame's build loop, and
 // all deeper runs, have completed), which is why a single matcher is
 // shared across depths.
+//
+//hin:hot
 func (s *queryScratch) frame(n int) *adjFrame {
 	for len(s.frames) < n {
 		s.frames = append(s.frames, adjFrame{})
@@ -58,17 +60,21 @@ type adjFrame struct {
 	rows [][]int32
 }
 
+//hin:hot
 func (f *adjFrame) reset() {
 	f.off = append(f.off[:0], 0)
 	f.dat = f.dat[:0]
 }
 
+//hin:hot
 func (f *adjFrame) closeRow() {
 	f.off = append(f.off, int32(len(f.dat)))
 }
 
 // graph materializes the frame as a bipartite.Graph with nRight right
 // vertices. Row count is len(off)-1.
+//
+//hin:hot
 func (f *adjFrame) graph(nRight int) bipartite.Graph {
 	n := len(f.off) - 1
 	if cap(f.rows) < n {
@@ -158,6 +164,7 @@ func memoHash(k uint64) uint64 {
 	return k ^ (k >> 29)
 }
 
+//hin:hot
 func (t *memoTable) get(tv, av hin.EntityID, depth int) (res, ok bool) {
 	if !t.packed {
 		res, ok = t.slow[memoKey{tv, av, int32(depth)}]
@@ -175,6 +182,7 @@ func (t *memoTable) get(tv, av hin.EntityID, depth int) (res, ok bool) {
 	}
 }
 
+//hin:hot
 func (t *memoTable) put(tv, av hin.EntityID, depth int, res bool) {
 	if !t.packed {
 		t.slow[memoKey{tv, av, int32(depth)}] = res
@@ -186,6 +194,7 @@ func (t *memoTable) put(tv, av hin.EntityID, depth int, res bool) {
 	t.insert(packMemoKey(tv, av, depth), res)
 }
 
+//hin:hot
 func (t *memoTable) insert(k uint64, res bool) {
 	mask := uint64(len(t.keys) - 1)
 	for i := memoHash(k) & mask; ; i = (i + 1) & mask {

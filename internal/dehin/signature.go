@@ -80,6 +80,8 @@ func buildDegSignature(aux *hin.Graph, lts []hin.LinkTypeID, useIn bool) *degSig
 // admits reports whether candidate av's degree vector can satisfy the
 // target's per-type quotas (see Attack.computeNeeds). needs holds the out
 // quotas in [0,L) and, when in-edges are matched, the in quotas in [L,2L).
+//
+//hin:hot
 func (d *degSignature) admits(needs []int32, av hin.EntityID) bool {
 	L := len(d.lts)
 	base := int(av) * L
@@ -102,6 +104,8 @@ func (d *degSignature) admits(needs []int32, av hin.EntityID) bool {
 // quotas (out first, then in when matched), mirroring directionMatch's
 // tolerance arithmetic; quotas clamp at zero because a non-positive need
 // constrains nothing.
+//
+//hin:hot
 func (a *Attack) computeNeeds(s *queryScratch, target *hin.Graph, tv hin.EntityID) {
 	L := len(a.cfg.LinkTypes)
 	sz := L

@@ -319,8 +319,10 @@ func RunAllTimed(sink io.Writer, p Params) ([]*Table, []ExperimentTiming, CacheS
 	suite.Attr("slots", int64(len(runAllOrder)))
 	go runLimited(p.Workers, len(runAllOrder), func(i int) {
 		sp := suite.Fork(runAllOrder[i])
+		//hin:allow determinism -- per-slot wall time feeds the -timing report and histograms only; experiment tables never see it
 		start := time.Now()
 		tbl, err := compute[runAllOrder[i]]()
+		//hin:allow determinism -- reporting-only, same as the time.Now above
 		elapsed := time.Since(start)
 		sp.End()
 		// One histogram per experiment id; under concurrency the slots

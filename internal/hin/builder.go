@@ -154,6 +154,7 @@ func (b *Builder) Build() (*Graph, error) {
 		}
 		col.data = make([]int32, 0, total)
 		for v := 0; v < n; v++ {
+			//hin:allow determinism -- each column is rebuilt per set name in ascending entity order; the order b.sets is visited never reaches col.data
 			col.data = append(col.data, vals[EntityID(v)]...)
 		}
 		g.sets[name] = col

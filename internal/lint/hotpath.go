@@ -1,0 +1,446 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotPath guards the zero-allocation query engine: any function annotated
+// with //hin:hot in its doc comment (the DeHIN query path, the memo-table
+// probes, the Hopcroft-Karp matcher) is checked against the allocation
+// patterns that would silently break the 0 allocs/op benchmarks:
+//
+//   - fmt.Sprintf and friends (always allocate);
+//   - string concatenation inside loops;
+//   - closures that capture loop variables (each capture escapes);
+//   - boxing a package-local concrete value into an interface;
+//   - append on slices allocated inside the function. Appending into a
+//     caller-supplied buffer (a parameter), a struct field (the pooled
+//     scratch pattern), or a slice derived from one (e.g. s.buf[:0]) is the
+//     approved idiom and stays legal.
+//
+// The annotation is deliberately opt-in: the checks are strict heuristics,
+// meant for the handful of functions whose per-operation allocation count
+// is load-bearing, with //hin:allow for the rare justified exception.
+const checkHotPath = "hotpath"
+
+var HotPath = &Analyzer{
+	Name: checkHotPath,
+	Doc:  "//hin:hot functions may not allocate: no Sprintf, loop string concat, loop-var captures, interface boxing, or appends to function-local slices",
+	Run:  runHotPath,
+}
+
+// hotAnnotated reports whether the function's doc comment carries
+// //hin:hot.
+func hotAnnotated(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		rest, ok := strings.CutPrefix(c.Text, directivePrefix+"hot")
+		if ok && (rest == "" || rest[0] == ' ' || rest[0] == '\t') {
+			return true
+		}
+	}
+	return false
+}
+
+func runHotPath(p *Package, cfg *Config) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !hotAnnotated(fn) {
+				continue
+			}
+			w := &hotWalker{p: p, fn: fn, seen: make(map[token.Pos]bool)}
+			w.collectLocals()
+			w.walkBody()
+			out = append(out, w.out...)
+		}
+	}
+	return out
+}
+
+// hotWalker carries one hot function's analysis state.
+type hotWalker struct {
+	p    *Package
+	fn   *ast.FuncDecl
+	out  []Diagnostic
+	seen map[token.Pos]bool // dedupes findings reachable from nested loops
+
+	// params holds the function's parameter, receiver, and named-result
+	// objects: appending into these is the caller-buffer idiom.
+	params map[types.Object]bool
+	// inits maps each local variable to every expression assigned to it
+	// (nil entry for a zero-valued var declaration).
+	inits map[types.Object][]ast.Expr
+}
+
+func (w *hotWalker) report(n ast.Node, format string, args ...any) {
+	if w.seen[n.Pos()] {
+		return
+	}
+	w.seen[n.Pos()] = true
+	w.out = append(w.out, Diagnostic{
+		Pos:     w.p.Fset.Position(n.Pos()),
+		Check:   checkHotPath,
+		Message: fmt.Sprintf(format, args...) + fmt.Sprintf(" (in //hin:hot %s)", w.fn.Name.Name),
+	})
+}
+
+// collectLocals indexes the function's parameters and every assignment to
+// its local variables, for the append-target classification.
+func (w *hotWalker) collectLocals() {
+	w.params = make(map[types.Object]bool)
+	w.inits = make(map[types.Object][]ast.Expr)
+	addField := func(f *ast.Field) {
+		for _, name := range f.Names {
+			if obj := w.p.Info.Defs[name]; obj != nil {
+				w.params[obj] = true
+			}
+		}
+	}
+	if w.fn.Recv != nil {
+		for _, f := range w.fn.Recv.List {
+			addField(f)
+		}
+	}
+	for _, f := range w.fn.Type.Params.List {
+		addField(f)
+	}
+	if w.fn.Type.Results != nil {
+		for _, f := range w.fn.Type.Results.List {
+			addField(f)
+		}
+	}
+	ast.Inspect(w.fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := w.p.Info.Defs[id]
+				if obj == nil {
+					obj = w.p.Info.Uses[id]
+				}
+				if obj == nil {
+					continue
+				}
+				var rhs ast.Expr
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				} else if len(n.Rhs) == 1 {
+					rhs = n.Rhs[0] // multi-value call: derived, not a fresh literal
+				}
+				if selfAppend(rhs, id.Name) {
+					continue // x = append(x, ...) says nothing about x's origin
+				}
+				w.inits[obj] = append(w.inits[obj], rhs)
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				obj := w.p.Info.Defs[name]
+				if obj == nil {
+					continue
+				}
+				var rhs ast.Expr
+				if i < len(n.Values) {
+					rhs = n.Values[i]
+				}
+				w.inits[obj] = append(w.inits[obj], rhs)
+			}
+		}
+		return true
+	})
+}
+
+// selfAppend recognizes `x = append(x, ...)`.
+func selfAppend(rhs ast.Expr, name string) bool {
+	call, ok := rhs.(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" {
+		return false
+	}
+	id, ok := call.Args[0].(*ast.Ident)
+	return ok && id.Name == name
+}
+
+func (w *hotWalker) walkBody() {
+	ast.Inspect(w.fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			w.checkCall(n)
+		case *ast.AssignStmt:
+			if len(n.Rhs) == len(n.Lhs) {
+				for i, lhs := range n.Lhs {
+					if t := lhsType(w.p, lhs); t != nil {
+						w.checkBoxing(n.Rhs[i], t)
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if i >= len(n.Values) {
+					break
+				}
+				if obj := w.p.Info.Defs[name]; obj != nil {
+					w.checkBoxing(n.Values[i], obj.Type())
+				}
+			}
+		case *ast.ForStmt:
+			w.checkLoop(n.Body, loopVarObjs(w.p, n.Init))
+		case *ast.RangeStmt:
+			w.checkLoop(n.Body, rangeVarObjs(w.p, n))
+		}
+		return true
+	})
+}
+
+// checkCall flags Sprintf-family calls, interface boxing of call
+// arguments, and appends to function-local slices.
+func (w *hotWalker) checkCall(call *ast.CallExpr) {
+	if fn := pkgFunc(w.p.Info, call.Fun); fn != nil && fn.Pkg().Path() == "fmt" {
+		switch fn.Name() {
+		case "Sprintf", "Sprint", "Sprintln", "Errorf", "Appendf":
+			w.report(call, "fmt.%s allocates on every call", fn.Name())
+			return
+		}
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := w.p.Info.Uses[id].(*types.Builtin); ok {
+			if b.Name() == "append" && len(call.Args) > 0 {
+				w.checkAppend(call)
+			}
+			return
+		}
+	}
+	// Explicit conversion to an interface type.
+	if tv, ok := w.p.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		w.checkBoxing(call.Args[0], tv.Type)
+		return
+	}
+	// Concrete package-local values passed to interface parameters.
+	tv, ok := w.p.Info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue
+			}
+			pt = sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice).Elem()
+		case i < sig.Params().Len():
+			pt = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		w.checkBoxing(arg, pt)
+	}
+}
+
+// checkBoxing flags converting a concrete value of a package-local named
+// type (the scratch structures) into an interface, which escapes it to the
+// heap.
+func (w *hotWalker) checkBoxing(arg ast.Expr, dst types.Type) {
+	if dst == nil || !types.IsInterface(dst) {
+		return
+	}
+	at, ok := w.p.Info.Types[arg]
+	if !ok || at.Type == nil || types.IsInterface(at.Type) {
+		return
+	}
+	t := at.Type
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() != w.p.Pkg {
+		return
+	}
+	w.report(arg, "converting %s to %s boxes the scratch value onto the heap", at.Type, dst)
+}
+
+// checkAppend classifies the append destination. Legal destinations reuse
+// memory owned elsewhere: struct fields (pooled scratch), parameters and
+// named results (caller buffers), package-level slices, and locals derived
+// from any expression that is not a fresh allocation. A local whose every
+// origin is a zero var declaration, make, or a composite literal grows
+// memory this call owns - exactly the per-query allocation the hot path
+// must not make.
+func (w *hotWalker) checkAppend(call *ast.CallExpr) {
+	root := call.Args[0]
+	for {
+		switch e := ast.Unparen(root).(type) {
+		case *ast.IndexExpr:
+			root = e.X
+		case *ast.SliceExpr:
+			root = e.X
+		case *ast.StarExpr:
+			root = e.X
+		default:
+			goto rooted
+		}
+	}
+rooted:
+	id, ok := ast.Unparen(root).(*ast.Ident)
+	if !ok {
+		return // selector (field) or other reuse pattern
+	}
+	obj := w.p.Info.Uses[id]
+	if obj == nil {
+		obj = w.p.Info.Defs[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || w.params[v] || v.Parent() == w.p.Pkg.Scope() {
+		return
+	}
+	if strings.Contains(strings.ToLower(v.Name()), "scratch") ||
+		strings.Contains(strings.ToLower(typeName(v.Type())), "scratch") {
+		return
+	}
+	inits, known := w.inits[v]
+	if !known {
+		return // declared outside the function (captured); assume owned there
+	}
+	for _, init := range inits {
+		if !allocatingInit(init) {
+			return // at least one origin reuses existing memory
+		}
+	}
+	w.report(call, "append grows function-local slice %q allocated per call; append into a caller buffer or pooled scratch", v.Name())
+}
+
+// allocatingInit reports whether the initializer conjures fresh memory: a
+// zero var declaration (nil slice), make, new, or a composite literal.
+func allocatingInit(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case nil:
+		return true
+	case *ast.CompositeLit:
+		return true
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok && (id.Name == "make" || id.Name == "new") {
+			return true
+		}
+		return false
+	case *ast.Ident:
+		return e.Name == "nil"
+	default:
+		return false
+	}
+}
+
+func typeName(t types.Type) string {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// lhsType resolves an assignment destination's type (identifiers live in
+// Defs/Uses rather than the Types map).
+func lhsType(p *Package, lhs ast.Expr) types.Type {
+	if id, ok := lhs.(*ast.Ident); ok {
+		if obj := p.Info.Defs[id]; obj != nil {
+			return obj.Type()
+		}
+		if obj := p.Info.Uses[id]; obj != nil {
+			return obj.Type()
+		}
+		return nil
+	}
+	if tv, ok := p.Info.Types[lhs]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// loopVarObjs collects objects defined by a for statement's init clause.
+func loopVarObjs(p *Package, init ast.Stmt) map[types.Object]bool {
+	vars := make(map[types.Object]bool)
+	if assign, ok := init.(*ast.AssignStmt); ok && assign.Tok == token.DEFINE {
+		for _, lhs := range assign.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				if obj := p.Info.Defs[id]; obj != nil {
+					vars[obj] = true
+				}
+			}
+		}
+	}
+	return vars
+}
+
+// rangeVarObjs collects a range statement's key/value objects.
+func rangeVarObjs(p *Package, rs *ast.RangeStmt) map[types.Object]bool {
+	vars := make(map[types.Object]bool)
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok {
+			if obj := p.Info.Defs[id]; obj != nil {
+				vars[obj] = true
+			}
+		}
+	}
+	return vars
+}
+
+// checkLoop flags string concatenation and loop-variable-capturing
+// closures inside one loop body.
+func (w *hotWalker) checkLoop(body *ast.BlockStmt, loopVars map[types.Object]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if n.Op != token.ADD {
+				return true
+			}
+			tv, ok := w.p.Info.Types[n]
+			if !ok || tv.Value != nil { // constant concatenation folds at compile time
+				return true
+			}
+			if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+				w.report(n, "string concatenation in a loop allocates per iteration")
+			}
+		case *ast.FuncLit:
+			for obj := range loopVars {
+				if capturesObj(w.p, n, obj) {
+					w.report(n, "closure captures loop variable %q, forcing a per-iteration heap allocation", obj.Name())
+					break
+				}
+			}
+		}
+		return true
+	})
+}
+
+// capturesObj reports whether the closure body references the object.
+func capturesObj(p *Package, fl *ast.FuncLit, obj types.Object) bool {
+	found := false
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && p.Info.Uses[id] == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// LogDiscipline keeps every diagnostic line in the repository flowing
+// through the nil-safe obs.Logger: outside the instrumentation layer
+// itself, writing to os.Stderr with fmt.Fprint*, calling the standard log
+// package, or using the builtin print/println is a finding. The point is
+// uniformity - obs.Logger output is levelled (-v), structured, stripped of
+// timestamps for golden tests, and disableable by holding nil - so one
+// stray fmt.Fprintf(os.Stderr, ...) cannot fork a second, unlevelled
+// stream. Report output that must stay byte-stable (tables on stdout, the
+// -timing report) is not logging; route it to stdout, or suppress with a
+// reasoned //hin:allow when stderr is genuinely the right stream.
+const checkLogDiscipline = "logdiscipline"
+
+var LogDiscipline = &Analyzer{
+	Name: checkLogDiscipline,
+	Doc:  "outside internal/obs, stderr writes and the log package are forbidden; use obs.Logger",
+	Run:  runLogDiscipline,
+}
+
+func runLogDiscipline(p *Package, cfg *Config) []Diagnostic {
+	if matchPkg(p.Path, cfg.LogExemptPkgs) {
+		return nil
+	}
+	var out []Diagnostic
+	report := func(n ast.Node, format string, args ...any) {
+		out = append(out, Diagnostic{
+			Pos:     p.Fset.Position(n.Pos()),
+			Check:   checkLogDiscipline,
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok {
+				if b, ok := p.Info.Uses[id].(*types.Builtin); ok && (b.Name() == "println" || b.Name() == "print") {
+					report(call, "builtin %s writes to stderr; use obs.Logger", b.Name())
+					return true
+				}
+			}
+			fn := pkgFunc(p.Info, call.Fun)
+			if fn == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "log":
+				report(call, "log.%s bypasses obs.Logger (unlevelled, timestamped, not capturable); use obs.Logger", fn.Name())
+			case "fmt":
+				switch fn.Name() {
+				case "Fprint", "Fprintf", "Fprintln":
+					if len(call.Args) > 0 && isOSStderr(p, call.Args[0]) {
+						report(call, "fmt.%s to os.Stderr bypasses obs.Logger; log through it (or //hin:allow report output)", fn.Name())
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isOSStderr reports whether the expression is the os.Stderr variable.
+func isOSStderr(p *Package, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	v, ok := p.Info.Uses[sel.Sel].(*types.Var)
+	return ok && v.Pkg() != nil && v.Pkg().Path() == "os" && v.Name() == "Stderr"
+}

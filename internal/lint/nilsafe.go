@@ -1,0 +1,194 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NilSafe enforces the instrumentation layer's core contract: a nil
+// handle disables the layer, so every exported pointer-receiver method of
+// internal/obs and internal/obs/trace must begin with a nil-receiver guard
+// before any receiver state is touched. Concretely, before the method
+// dereferences its receiver (field read, *r, or indexing), some top-level
+// statement must be an if whose condition checks `r == nil` and whose body
+// terminates (return or panic). Methods that never dereference the
+// receiver - pure delegators like WritePrometheus, which only call other
+// (themselves nil-safe) methods - need no guard: Go happily dispatches a
+// method on a nil pointer, and responsibility moves to the callee, which
+// this check covers in turn when it is exported.
+const checkNilSafe = "nilsafe"
+
+var NilSafe = &Analyzer{
+	Name: checkNilSafe,
+	Doc:  "exported pointer-receiver methods of the obs packages must nil-guard before dereferencing the receiver",
+	Run:  runNilSafe,
+}
+
+func runNilSafe(p *Package, cfg *Config) []Diagnostic {
+	if !matchPkg(p.Path, cfg.NilSafePkgs) {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || fn.Body == nil || !fn.Name.IsExported() {
+				continue
+			}
+			recv := fn.Recv.List[0]
+			if _, ok := recv.Type.(*ast.StarExpr); !ok {
+				continue // value receiver: nil cannot occur
+			}
+			if len(recv.Names) == 0 || recv.Names[0].Name == "_" {
+				continue // unnamed receiver cannot be dereferenced
+			}
+			recvObj := p.Info.Defs[recv.Names[0]]
+			if recvObj == nil {
+				continue
+			}
+			if d, bad := checkGuarded(p, fn, recvObj); bad {
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// checkGuarded scans the method body's top-level statements in order: a
+// receiver dereference reached before a terminating `recv == nil` guard is
+// a finding.
+func checkGuarded(p *Package, fn *ast.FuncDecl, recv types.Object) (Diagnostic, bool) {
+	for _, stmt := range fn.Body.List {
+		if isNilGuard(p, stmt, recv) {
+			return Diagnostic{}, false
+		}
+		if pos, found := firstDeref(p, stmt, recv); found {
+			return Diagnostic{
+				Pos:   p.Fset.Position(pos),
+				Check: checkNilSafe,
+				Message: fmt.Sprintf("exported method %s dereferences receiver %q before a nil guard; a nil *%s must be a no-op",
+					fn.Name.Name, recv.Name(), recvTypeName(fn)),
+			}, true
+		}
+	}
+	return Diagnostic{}, false
+}
+
+func recvTypeName(fn *ast.FuncDecl) string {
+	if star, ok := fn.Recv.List[0].Type.(*ast.StarExpr); ok {
+		switch t := star.X.(type) {
+		case *ast.Ident:
+			return t.Name
+		case *ast.IndexExpr: // generic receiver T[P]
+			if id, ok := t.X.(*ast.Ident); ok {
+				return id.Name
+			}
+		}
+	}
+	return "?"
+}
+
+// isNilGuard recognizes `if recv == nil { ...; return/panic }`, including
+// compound conditions like `if recv == nil || n <= 0`, provided the
+// condition itself does not dereference the receiver and the body
+// terminates.
+func isNilGuard(p *Package, stmt ast.Stmt, recv types.Object) bool {
+	ifs, ok := stmt.(*ast.IfStmt)
+	if !ok || ifs.Init != nil {
+		return false
+	}
+	if !condChecksNil(p, ifs.Cond, recv) {
+		return false
+	}
+	if _, derefs := firstDeref(p, &ast.ExprStmt{X: ifs.Cond}, recv); derefs {
+		return false
+	}
+	return terminates(ifs.Body)
+}
+
+// condChecksNil reports whether the condition contains `recv == nil` (or
+// `nil == recv`) as itself or an || operand.
+func condChecksNil(p *Package, cond ast.Expr, recv types.Object) bool {
+	switch e := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LOR:
+			return condChecksNil(p, e.X, recv) || condChecksNil(p, e.Y, recv)
+		case token.EQL:
+			return (isRecvIdent(p, e.X, recv) && isNilIdent(p, e.Y)) ||
+				(isNilIdent(p, e.X) && isRecvIdent(p, e.Y, recv))
+		}
+	}
+	return false
+}
+
+func isRecvIdent(p *Package, e ast.Expr, recv types.Object) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && p.Info.Uses[id] == recv
+}
+
+func isNilIdent(p *Package, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := p.Info.Uses[id].(*types.Nil)
+	return isNil
+}
+
+// terminates reports whether the block's last statement unconditionally
+// leaves the method (return or panic).
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// firstDeref returns the position of the first receiver dereference in the
+// statement: a field selection rooted at the receiver, an explicit *recv,
+// or indexing the receiver. Method calls on the receiver are not
+// dereferences (dispatch on a nil pointer is legal; the callee guards).
+func firstDeref(p *Package, stmt ast.Stmt, recv types.Object) (token.Pos, bool) {
+	var pos token.Pos
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if !isRecvIdent(p, n.X, recv) {
+				return true
+			}
+			if s, ok := p.Info.Selections[n]; ok && s.Kind() == types.FieldVal {
+				pos, found = n.Pos(), true
+				return false
+			}
+		case *ast.StarExpr:
+			if isRecvIdent(p, n.X, recv) {
+				pos, found = n.Pos(), true
+				return false
+			}
+		case *ast.IndexExpr:
+			if isRecvIdent(p, n.X, recv) {
+				pos, found = n.Pos(), true
+				return false
+			}
+		}
+		return true
+	})
+	return pos, found
+}

@@ -1,0 +1,111 @@
+// Package hot exercises the hotpath analyzer: //hin:hot functions may not
+// allocate per call. Want comments mark expected diagnostics; the
+// unannotated and approved-idiom functions must stay clean.
+package hot
+
+import "fmt"
+
+// frame mimics pooled scratch: appends into its fields reuse memory.
+type frame struct {
+	dat []int
+}
+
+type item struct{ v int }
+
+func sink(vs ...any) {}
+
+// Describe formats with Sprintf, which allocates on every call.
+//
+//hin:hot
+func Describe(n int) string {
+	return fmt.Sprintf("n=%d", n) // want "fmt\.Sprintf allocates on every call"
+}
+
+// Concat builds a string in a loop.
+//
+//hin:hot
+func Concat(parts []string) string {
+	var s string
+	for _, p := range parts {
+		s = s + p // want "string concatenation in a loop"
+	}
+	return s
+}
+
+// Capture stores a closure over the loop variable.
+//
+//hin:hot
+func Capture(fns []func(), xs []int) {
+	for i, x := range xs {
+		fns[i] = func() { _ = x } // want "closure captures loop variable .x."
+	}
+}
+
+// Box converts a package-local concrete value into an interface.
+//
+//hin:hot
+func Box(f *frame) any {
+	var out any = f // want "boxes the scratch value onto the heap"
+	return out
+}
+
+// BoxArg passes a package-local concrete value to an interface parameter.
+//
+//hin:hot
+func BoxArg(it item) {
+	sink(it) // want "boxes the scratch value onto the heap"
+}
+
+// AppendLocal grows a slice this call allocated.
+//
+//hin:hot
+func AppendLocal(n int) int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i) // want "append grows function-local slice .out."
+	}
+	return len(out)
+}
+
+// AppendCaller appends into the caller's buffer: the approved idiom.
+//
+//hin:hot
+func AppendCaller(dst []int, n int) []int {
+	for i := 0; i < n; i++ {
+		dst = append(dst, i)
+	}
+	return dst
+}
+
+// AppendField appends into pooled scratch: the approved idiom.
+//
+//hin:hot
+func (f *frame) AppendField(v int) {
+	f.dat = append(f.dat, v)
+}
+
+// AppendDerived appends into a slice derived from scratch memory.
+//
+//hin:hot
+func AppendDerived(f *frame) []int {
+	out := f.dat[:0]
+	out = append(out, 1)
+	return out
+}
+
+// AppendAllowed is the suppressed case.
+//
+//hin:hot
+func AppendAllowed(n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		//hin:allow hotpath -- fixture: cold setup path, result escapes anyway
+		out = append(out, i)
+	}
+	return out
+}
+
+// Unannotated is not checked: the hotpath analyzer is opt-in.
+func Unannotated() string {
+	return fmt.Sprintf("free %d", 1)
+}

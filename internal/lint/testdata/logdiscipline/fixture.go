@@ -1,0 +1,24 @@
+// Package logfix exercises the logdiscipline analyzer: outside the obs
+// packages, stderr writes and the std log package must go through
+// obs.Logger. Want comments mark expected diagnostics.
+package logfix
+
+import (
+	"fmt"
+	"log"
+	"os"
+)
+
+// Report mixes forbidden log channels with legal stdout report output.
+func Report(err error) {
+	fmt.Fprintln(os.Stderr, err)   // want "fmt\.Fprintln to os\.Stderr bypasses obs\.Logger"
+	fmt.Fprintf(os.Stdout, "ok\n") // stdout is report output: legal
+	log.Printf("failed: %v", err)  // want "log\.Printf bypasses obs\.Logger"
+	println("debug")               // want "builtin println writes to stderr"
+}
+
+// Allowed is the suppressed case: aligned report output on stderr.
+func Allowed() {
+	//hin:allow logdiscipline -- fixture: aligned report table, stdout is occupied
+	fmt.Fprintln(os.Stderr, "table")
+}

@@ -1,0 +1,55 @@
+// Package obsfix exercises the nilsafe analyzer: exported pointer-receiver
+// methods must nil-guard before touching receiver state. Want comments
+// mark expected diagnostics.
+package obsfix
+
+// Counter mimics an obs handle: nil disables it.
+type Counter struct {
+	n int
+}
+
+// Bad dereferences the receiver before any guard.
+func (c *Counter) Bad() int {
+	return c.n // want "dereferences receiver .c. before a nil guard"
+}
+
+// Good guards first.
+func (c *Counter) Good() int {
+	if c == nil {
+		return 0
+	}
+	return c.n
+}
+
+// Add uses a compound guard; `c == nil` as an || operand counts.
+func (c *Counter) Add(d int) {
+	if c == nil || d == 0 {
+		return
+	}
+	c.n += d
+}
+
+// Delegate only dispatches methods on the receiver - legal on a nil
+// pointer, the callee guards.
+func (c *Counter) Delegate() int { return c.Good() }
+
+// LateGuard guards too late: the dereference on the way is the finding.
+func (c *Counter) LateGuard() int {
+	v := c.n // want "dereferences receiver .c. before a nil guard"
+	if c == nil {
+		return 0
+	}
+	return v
+}
+
+// Value receivers cannot be nil and are out of scope.
+func (c Counter) Value() int { return c.n }
+
+// unexported methods are out of scope.
+func (c *Counter) bad() int { return c.n }
+
+// Allowed is the suppressed case.
+func (c *Counter) Allowed() int {
+	//hin:allow nilsafe -- fixture: documented non-nil precondition
+	return c.n
+}
