@@ -10,8 +10,8 @@ FUZZTIME ?= 30s
 #   BENCH_DIFF_TOL   allowed ns/op regression in percent (allocs/op growth
 #                    always fails); raise on noisy shared machines
 #   SKIP_BENCH_DIFF  set non-empty to skip the gate entirely
-BENCH_BASELINE ?= BENCH_4.json
-BENCH_DIFF_MATCH ?= BenchmarkDeanonymizeSingle|BenchmarkDeanonymizeInstrumented
+BENCH_BASELINE ?= BENCH_5.json
+BENCH_DIFF_MATCH ?= BenchmarkDeanonymizeSingle|BenchmarkDeanonymizeSingleCSR|BenchmarkDeanonymizeInstrumented|BenchmarkPaperscale
 BENCH_DIFF_TOL ?= 15
 BENCH_VERIFY_OUT ?= /tmp/dehin-bench-verify.json
 
@@ -34,14 +34,18 @@ lint:
 # mutex-copy and loop-capture analyzers so they stay on even if the default
 # set changes, then hinlint), the race-detector run over the packages with
 # real concurrency (the sharded generator, the parallel workbench/registry,
-# the obs metrics registry, and the span tracer), and the bench-regression
-# gate on the zero-allocation query benchmarks. Keep it green before
-# committing.
+# the obs metrics registry, and the span tracer), the paperscale smoke
+# (the miniature generate->persist->load->attack->risk pipeline; skip with
+# SKIP_PAPERSCALE=1), and the bench-regression gate on the zero-allocation
+# query benchmarks. Keep it green before committing.
 verify:
 	$(GO) vet ./...
 	$(GO) vet -copylocks -loopclosure ./...
 	$(MAKE) lint
 	$(GO) test -race ./internal/experiments ./internal/tqq ./internal/obs ./internal/obs/trace
+ifeq ($(strip $(SKIP_PAPERSCALE)),)
+	$(GO) test -run TestPaperscaleSmoke -count=1 .
+endif
 ifeq ($(strip $(SKIP_BENCH_DIFF)),)
 	$(MAKE) bench-diff
 endif
@@ -58,10 +62,11 @@ bench-diff:
 fuzz:
 	$(GO) test -fuzz FuzzProfileSpecValidate -fuzztime $(FUZZTIME) -run '^$$' ./internal/dehin
 	$(GO) test -fuzz FuzzGenerateSmall -fuzztime $(FUZZTIME) -run '^$$' ./internal/tqq
+	$(GO) test -fuzz FuzzAdjRowCodec -fuzztime $(FUZZTIME) -run '^$$' ./internal/hin
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem
 
 # benchdump refreshes the committed benchmark snapshot (see BENCH_*.json).
 benchdump:
-	$(GO) run ./cmd/benchdump -pkg ./... -out BENCH_4.json
+	$(GO) run ./cmd/benchdump -pkg ./... -out BENCH_5.json

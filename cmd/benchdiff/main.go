@@ -59,10 +59,20 @@ func main() {
 		os.Exit(2)
 	}
 
-	names := make([]string, 0, len(newM))
-	for name := range newM {
-		if re.MatchString(name) {
-			names = append(names, name)
+	// Gate over the union of both snapshots: a benchmark only in the
+	// candidate is new (no baseline to regress against - reported, then
+	// skipped, so landing a benchmark and its baseline can be one change);
+	// one only in the baseline is reported as gone but does not fail the
+	// gate, since renames land the same way. Only an empty union - the
+	// -match selecting nothing anywhere - is an error.
+	seen := make(map[string]bool)
+	var names []string
+	for _, m := range []map[string]benchjson.Entry{newM, oldM} {
+		for name := range m {
+			if re.MatchString(name) && !seen[name] {
+				seen[name] = true
+				names = append(names, name)
+			}
 		}
 	}
 	sort.Strings(names)
@@ -75,9 +85,13 @@ func main() {
 	fmt.Printf("benchdiff: %s -> %s (tolerance %.0f%% ns/op, 0 allocs/op growth)\n",
 		*oldPath, *newPath, *tol)
 	for _, name := range names {
-		nw := newM[name]
-		od, ok := oldM[name]
-		if !ok {
+		nw, inNew := newM[name]
+		od, inOld := oldM[name]
+		if !inNew {
+			fmt.Printf("  %-36s GONE (baseline only, skipped)\n", name)
+			continue
+		}
+		if !inOld {
 			fmt.Printf("  %-36s NEW  %.1f ns/op  %.0f allocs/op (no baseline, skipped)\n",
 				name, nw.NsPerOp, nw.AllocsOp)
 			continue

@@ -21,8 +21,10 @@ import (
 	"time"
 
 	"github.com/hinpriv/dehin/internal/experiments"
+	"github.com/hinpriv/dehin/internal/hin"
 	"github.com/hinpriv/dehin/internal/obs"
 	"github.com/hinpriv/dehin/internal/obs/trace"
+	"github.com/hinpriv/dehin/internal/risk"
 )
 
 // logger carries the command's levelled stderr output; fatalf routes
@@ -47,6 +49,8 @@ func main() {
 		metrics  = flag.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :9090 or 127.0.0.1:0)")
 		metDump  = flag.String("metrics-dump", "", "write a final JSON metrics snapshot to this file")
 		traceOut = flag.String("trace", "", "record a span timeline and write it as Chrome trace-event JSON (Perfetto/about://tracing) to this file")
+		backend  = flag.String("backend", "", "auxiliary graph backend: mem (default) or csr (compact, varint-compressed)")
+		graphIn  = flag.String("graph-in", "", "inspect a persisted CSR graph file (stats + dataset risk) and exit")
 		verbose  = flag.Bool("v", false, "debug-level progress logging on stderr")
 	)
 	flag.Parse()
@@ -59,6 +63,12 @@ func main() {
 	if *list {
 		for _, n := range experiments.Names() {
 			fmt.Println(n)
+		}
+		return
+	}
+	if *graphIn != "" {
+		if err := inspectGraph(*graphIn); err != nil {
+			fatalf("%v", err)
 		}
 		return
 	}
@@ -93,6 +103,7 @@ func main() {
 	}
 	p.Parallelism = *par
 	p.Workers = *parallel
+	p.Backend = *backend
 
 	var reg *obs.Registry
 	if *metrics != "" || *metDump != "" || *timing {
@@ -115,8 +126,12 @@ func main() {
 		p.Log = logger
 	}
 
-	fmt.Printf("params: aux=%d target=%d samples/density=%d densities=%v distances=%v seed=%d\n\n",
-		p.AuxUsers, p.TargetSize, p.SamplesPerDensity, p.Densities, p.Distances, p.Seed)
+	be := p.Backend
+	if be == "" {
+		be = experiments.BackendMem
+	}
+	fmt.Printf("params: aux=%d target=%d samples/density=%d densities=%v distances=%v seed=%d backend=%s\n\n",
+		p.AuxUsers, p.TargetSize, p.SamplesPerDensity, p.Densities, p.Distances, p.Seed, be)
 
 	start := time.Now()
 	var tables []*experiments.Table
@@ -183,6 +198,41 @@ func main() {
 			"spans", tracer.Len(), "dropped", tracer.Dropped())
 	}
 	logger.Info("done", "elapsed", time.Since(start).Round(time.Millisecond).String())
+}
+
+// inspectGraph opens a persisted CSR graph (as written by tqqgen
+// -graph-out), prints its headline statistics, and computes the dataset
+// privacy risk over all link types at distances 0..2 - a quick check that
+// a multi-gigabyte artifact is intact and attackable without rerunning
+// the generator.
+func inspectGraph(path string) error {
+	start := time.Now()
+	cf, err := hin.OpenCSRFile(path)
+	if err != nil {
+		return err
+	}
+	defer cf.Close()
+	g := cf.Graph()
+	fmt.Printf("%s: %d entities, %d edges (loaded+validated in %v)\n",
+		path, g.NumEntities(), g.NumEdgesTotal(), time.Since(start).Round(time.Millisecond))
+	if d, err := hin.Density(g); err == nil {
+		fmt.Printf("  density %.6f\n", d)
+	}
+	s := g.Schema()
+	lts := make([]hin.LinkTypeID, 0, s.NumLinkTypes())
+	for lt := 0; lt < s.NumLinkTypes(); lt++ {
+		fmt.Printf("  link %-10s %12d edges\n", s.LinkType(hin.LinkTypeID(lt)).Name, g.NumEdges(hin.LinkTypeID(lt)))
+		lts = append(lts, hin.LinkTypeID(lt))
+	}
+	for d := 0; d <= 2; d++ {
+		rs := time.Now()
+		r, err := risk.NetworkRisk(g, risk.SignatureConfig{MaxDistance: d, LinkTypes: lts})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  risk(d=%d) = %.6f  (%v)\n", d, r, time.Since(rs).Round(time.Millisecond))
+	}
+	return nil
 }
 
 // printTimingQuantiles extends the -timing table with the p50/p95/p99

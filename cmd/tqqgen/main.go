@@ -26,13 +26,14 @@ var logger *obs.Logger
 
 func main() {
 	var (
-		out     = flag.String("out", "", "output directory (required)")
-		users   = flag.Int("users", 10000, "number of users")
-		seed    = flag.Uint64("seed", 1, "generator seed")
-		comms   = flag.String("communities", "", "planted communities as SIZExDENSITY, comma-separated")
-		grow    = flag.Bool("grow", false, "also write a grown auxiliary crawl under <out>/grown")
-		dot     = flag.Bool("dot", false, "also write the target network schema as <out>/schema.dot")
-		verbose = flag.Bool("v", false, "debug-level generator progress logging on stderr")
+		out      = flag.String("out", "", "output directory (required)")
+		users    = flag.Int("users", 10000, "number of users")
+		seed     = flag.Uint64("seed", 1, "generator seed")
+		comms    = flag.String("communities", "", "planted communities as SIZExDENSITY, comma-separated")
+		grow     = flag.Bool("grow", false, "also write a grown auxiliary crawl under <out>/grown")
+		graphOut = flag.String("graph-out", "", "also persist the graph as a compact CSR file at this path")
+		dot      = flag.Bool("dot", false, "also write the target network schema as <out>/schema.dot")
+		verbose  = flag.Bool("v", false, "debug-level generator progress logging on stderr")
 	)
 	flag.Parse()
 	level := slog.LevelInfo
@@ -69,6 +70,27 @@ func main() {
 	}
 	fmt.Printf("wrote %s: %d users, %d edges, density %s, %d communities, %d rec entries\n",
 		*out, d.Graph.NumEntities(), d.Graph.NumEdgesTotal(), den, len(d.Communities), len(d.Rec))
+
+	if *graphOut != "" {
+		if err := hin.WriteCSRFile(*graphOut, d.Graph); err != nil {
+			fatalf("graph-out: %v", err)
+		}
+		// Reopen to verify and report: the loader revalidates everything,
+		// so a reported size is also a round-trip proof.
+		cf, err := hin.OpenCSRFile(*graphOut)
+		if err != nil {
+			fatalf("graph-out reopen: %v", err)
+		}
+		st, err := os.Stat(*graphOut)
+		if err != nil {
+			fatalf("graph-out stat: %v", err)
+		}
+		fmt.Printf("wrote %s: %d entities, %d edges, %d bytes (CSR)\n",
+			*graphOut, cf.Graph().NumEntities(), cf.Graph().NumEdgesTotal(), st.Size())
+		if err := cf.Close(); err != nil {
+			fatalf("graph-out close: %v", err)
+		}
+	}
 
 	if *dot {
 		f, err := os.Create(*out + "/schema.dot")

@@ -87,7 +87,7 @@ type Config struct {
 // concurrent use once built: per-query working memory lives in pooled
 // queryScratch instances, never in the Attack itself.
 type Attack struct {
-	aux     *hin.Graph
+	aux     hin.GraphBackend
 	cfg     Config
 	em      EntityMatcher
 	lm      LinkMatcher
@@ -98,7 +98,7 @@ type Attack struct {
 }
 
 // NewAttack prepares an attack against the given auxiliary graph.
-func NewAttack(aux *hin.Graph, cfg Config) (*Attack, error) {
+func NewAttack(aux hin.GraphBackend, cfg Config) (*Attack, error) {
 	if cfg.MaxDistance < 0 {
 		return nil, fmt.Errorf("dehin: negative MaxDistance")
 	}
@@ -163,7 +163,7 @@ type Index struct {
 
 // NewIndex builds a candidate index for the given auxiliary graph and
 // profile specification, shareable across attacks via Config.SharedIndex.
-func NewIndex(aux *hin.Graph, spec ProfileSpec) (*Index, error) {
+func NewIndex(aux hin.GraphBackend, spec ProfileSpec) (*Index, error) {
 	idx, err := buildProfileIndex(aux, spec)
 	if err != nil {
 		return nil, err
@@ -172,16 +172,20 @@ func NewIndex(aux *hin.Graph, spec ProfileSpec) (*Index, error) {
 }
 
 // Aux returns the auxiliary graph the attack is bound to.
-func (a *Attack) Aux() *hin.Graph { return a.aux }
+func (a *Attack) Aux() hin.GraphBackend { return a.aux }
 
 // PrepareTarget applies the attack-side preprocessing to a released target
 // graph (currently majority-strength removal when configured) and returns
 // the graph the matching will actually run on.
-func (a *Attack) PrepareTarget(target *hin.Graph) (*hin.Graph, error) {
+func (a *Attack) PrepareTarget(target hin.GraphBackend) (hin.GraphBackend, error) {
 	if !a.cfg.RemoveMajorityStrength {
 		return target, nil
 	}
-	return RemoveMajorityStrengthEdges(target)
+	g, err := RemoveMajorityStrengthEdges(target)
+	if err != nil {
+		return nil, err
+	}
+	return g, nil
 }
 
 func (a *Attack) getScratch() *queryScratch {
@@ -196,7 +200,7 @@ func (a *Attack) putScratch(s *queryScratch) { a.scratch.Put(s) }
 // Deanonymize runs Algorithm 1 for one target entity against the prepared
 // target graph, returning the candidate set of auxiliary entities. The
 // caller is responsible for having applied PrepareTarget.
-func (a *Attack) Deanonymize(target *hin.Graph, tv hin.EntityID) []hin.EntityID {
+func (a *Attack) Deanonymize(target hin.GraphBackend, tv hin.EntityID) []hin.EntityID {
 	return a.DeanonymizeAppend(nil, target, tv)
 }
 
@@ -204,7 +208,7 @@ func (a *Attack) Deanonymize(target *hin.Graph, tv hin.EntityID) []hin.EntityID 
 // returning the extended slice. Reusing dst across queries makes a
 // steady-state query allocation-free: all internal working memory is
 // pooled and the result lands in the caller's buffer.
-func (a *Attack) DeanonymizeAppend(dst []hin.EntityID, target *hin.Graph, tv hin.EntityID) []hin.EntityID {
+func (a *Attack) DeanonymizeAppend(dst []hin.EntityID, target hin.GraphBackend, tv hin.EntityID) []hin.EntityID {
 	s := a.getScratch()
 	dst = a.deanonymize(s, dst, target, tv)
 	a.putScratch(s)
@@ -219,7 +223,7 @@ func (a *Attack) DeanonymizeAppend(dst []hin.EntityID, target *hin.Graph, tv hin
 // sees a different graph. This is what lets a whole Run (500 queries
 // against one release) amortize the depth-1 neighborhood recursion that
 // different targets share.
-func (a *Attack) ensureMemo(s *queryScratch, target *hin.Graph) {
+func (a *Attack) ensureMemo(s *queryScratch, target hin.GraphBackend) {
 	if s.memoTarget == target {
 		return
 	}
@@ -234,7 +238,7 @@ func (a *Attack) ensureMemo(s *queryScratch, target *hin.Graph) {
 // pair, so a table probe is substantially cheaper than re-evaluating it.
 //
 //hin:hot
-func (a *Attack) emCached(s *queryScratch, target *hin.Graph, tb, ab hin.EntityID) bool {
+func (a *Attack) emCached(s *queryScratch, target hin.GraphBackend, tb, ab hin.EntityID) bool {
 	if r, ok := s.memo.get(tb, ab, 0); ok {
 		s.stats.memoHits++
 		return r
@@ -250,7 +254,7 @@ func (a *Attack) emCached(s *queryScratch, target *hin.Graph, tb, ab hin.EntityI
 // scratch-local event tally. The disabled path costs exactly this one
 // predictable branch (the zero Span inside the core adds only dead
 // single-branch no-ops).
-func (a *Attack) deanonymize(s *queryScratch, dst []hin.EntityID, target *hin.Graph, tv hin.EntityID) []hin.EntityID {
+func (a *Attack) deanonymize(s *queryScratch, dst []hin.EntityID, target hin.GraphBackend, tv hin.EntityID) []hin.EntityID {
 	if a.met == nil {
 		return a.deanonymizeCore(s, dst, target, tv, trace.Span{})
 	}
@@ -263,7 +267,7 @@ func (a *Attack) deanonymize(s *queryScratch, dst []hin.EntityID, target *hin.Gr
 // deanonymizeTraced is deanonymize carrying a live query span, used only
 // for the queries Run samples. An inactive span falls through to the
 // untraced path so callers need not branch.
-func (a *Attack) deanonymizeTraced(s *queryScratch, dst []hin.EntityID, target *hin.Graph, tv hin.EntityID, qs trace.Span) []hin.EntityID {
+func (a *Attack) deanonymizeTraced(s *queryScratch, dst []hin.EntityID, target hin.GraphBackend, tv hin.EntityID, qs trace.Span) []hin.EntityID {
 	if !qs.Active() {
 		return a.deanonymize(s, dst, target, tv)
 	}
@@ -282,7 +286,7 @@ func (a *Attack) deanonymizeTraced(s *queryScratch, dst []hin.EntityID, target *
 // predictable no-op branch.
 //
 //hin:hot
-func (a *Attack) deanonymizeCore(s *queryScratch, dst []hin.EntityID, target *hin.Graph, tv hin.EntityID, qs trace.Span) []hin.EntityID {
+func (a *Attack) deanonymizeCore(s *queryScratch, dst []hin.EntityID, target hin.GraphBackend, tv hin.EntityID, qs trace.Span) []hin.EntityID {
 	ps := qs.Child("profile_candidates")
 	profile := a.profileCandidates(s, target, tv)
 	ps.Attr("candidates", int64(len(profile)))
@@ -330,7 +334,7 @@ func (a *Attack) deanonymizeCore(s *queryScratch, dst []hin.EntityID, target *hi
 // and is valid until the scratch's next query.
 //
 //hin:hot
-func (a *Attack) profileCandidates(s *queryScratch, target *hin.Graph, tv hin.EntityID) []hin.EntityID {
+func (a *Attack) profileCandidates(s *queryScratch, target hin.GraphBackend, tv hin.EntityID) []hin.EntityID {
 	out := s.cand[:0]
 	if a.index != nil {
 		for _, av := range a.index.lookup(target, tv) {
@@ -374,7 +378,7 @@ func (a *Attack) quota(deg int) int {
 // memoized per (target, candidate, depth) across the whole query.
 //
 //hin:hot
-func (a *Attack) linkMatch(s *queryScratch, target *hin.Graph, n int, tv, av hin.EntityID) bool {
+func (a *Attack) linkMatch(s *queryScratch, target hin.GraphBackend, n int, tv, av hin.EntityID) bool {
 	if r, ok := s.memo.get(tv, av, n); ok {
 		s.stats.memoHits++
 		return r
@@ -386,7 +390,7 @@ func (a *Attack) linkMatch(s *queryScratch, target *hin.Graph, n int, tv, av hin
 }
 
 //hin:hot
-func (a *Attack) linkMatchUncached(s *queryScratch, target *hin.Graph, n int, tv, av hin.EntityID) bool {
+func (a *Attack) linkMatchUncached(s *queryScratch, target hin.GraphBackend, n int, tv, av hin.EntityID) bool {
 	for _, lt := range a.cfg.LinkTypes {
 		if !a.directionMatch(s, target, n, tv, av, lt, false) {
 			return false
@@ -404,27 +408,37 @@ func (a *Attack) linkMatchUncached(s *queryScratch, target *hin.Graph, n int, tv
 // clobbers an in-progress one).
 //
 //hin:hot
-func (a *Attack) directionMatch(s *queryScratch, target *hin.Graph, n int, tv, av hin.EntityID, lt hin.LinkTypeID, inEdges bool) bool {
+func (a *Attack) directionMatch(s *queryScratch, target hin.GraphBackend, n int, tv, av hin.EntityID, lt hin.LinkTypeID, inEdges bool) bool {
+	// The frame is claimed before any row decode: its pooled tbuf/abuf
+	// cursors hold the decoded rows for this depth, and deeper recursion
+	// uses deeper frames, so the rows below stay valid across the loop.
+	f := s.frame(n)
 	var tns []hin.EntityID
 	var tws []int32
-	var ans []hin.EntityID
-	var aws []int32
 	if inEdges {
-		tns, tws = target.InEdges(lt, tv)
-		ans, aws = a.aux.InEdges(lt, av)
+		tns, tws = target.InEdgesBuf(&f.tbuf, lt, tv)
 	} else {
-		tns, tws = target.OutEdges(lt, tv)
-		ans, aws = a.aux.OutEdges(lt, av)
+		tns, tws = target.OutEdgesBuf(&f.tbuf, lt, tv)
 	}
 	need := a.quota(len(tns))
 	if need <= 0 || len(tns) == 0 {
 		return true
 	}
-	if need > len(ans) {
-		// Even a maximum matching cannot reach the quota.
-		return false
+	var ans []hin.EntityID
+	var aws []int32
+	if inEdges {
+		if need > a.aux.InDegree(lt, av) {
+			// Even a maximum matching cannot reach the quota; checked
+			// against the degree so the auxiliary row is never decoded.
+			return false
+		}
+		ans, aws = a.aux.InEdgesBuf(&f.abuf, lt, av)
+	} else {
+		if need > a.aux.OutDegree(lt, av) {
+			return false
+		}
+		ans, aws = a.aux.OutEdgesBuf(&f.abuf, lt, av)
 	}
-	f := s.frame(n)
 	f.reset()
 	empties := 0
 	for i, tb := range tns {
@@ -462,24 +476,27 @@ func (a *Attack) directionMatch(s *queryScratch, target *hin.Graph, n int, tv, a
 // link type every edge carries strength 1, so the whole type is dropped -
 // which is what completing the follow graph costs the defender's victim
 // (Section 6.2).
-func RemoveMajorityStrengthEdges(g *hin.Graph) (*hin.Graph, error) {
+func RemoveMajorityStrengthEdges(g hin.GraphBackend) (*hin.Graph, error) {
 	schema := g.Schema()
 	b := hin.NewBuilder(schema)
 	n := g.NumEntities()
+	var attrs []int64
 	for i := 0; i < n; i++ {
 		id := hin.EntityID(i)
-		b.AddEntity(g.EntityType(id), g.Label(id), g.Attrs(id)...)
+		attrs = g.AppendAttrs(attrs[:0], id)
+		b.AddEntity(g.EntityType(id), g.Label(id), attrs...)
 		for _, sa := range schema.EntityType(g.EntityType(id)).SetAttrs {
 			if s := g.Set(sa, id); len(s) > 0 {
 				b.SetSet(sa, id, s)
 			}
 		}
 	}
+	buf := &hin.EdgeBuf{}
 	for lt := 0; lt < schema.NumLinkTypes(); lt++ {
 		ltid := hin.LinkTypeID(lt)
 		maj, _, ok := hin.MajorityStrength(g, ltid)
 		for v := 0; v < n; v++ {
-			tos, ws := g.OutEdges(ltid, hin.EntityID(v))
+			tos, ws := g.OutEdgesBuf(buf, ltid, hin.EntityID(v))
 			for j, to := range tos {
 				if ok && ws[j] == maj {
 					continue
@@ -532,7 +549,7 @@ type Result struct {
 // and a worker stuck on one cannot strand queued work behind it, so the
 // tail of a Run stays balanced. A zero-entity target yields zero metrics
 // (not NaN) and no error.
-func (a *Attack) Run(target *hin.Graph, truth []hin.EntityID) (Result, error) {
+func (a *Attack) Run(target hin.GraphBackend, truth []hin.EntityID) (Result, error) {
 	if len(truth) != target.NumEntities() {
 		return Result{}, fmt.Errorf("dehin: truth size %d != %d targets", len(truth), target.NumEntities())
 	}
@@ -637,7 +654,7 @@ func (a *Attack) Run(target *hin.Graph, truth []hin.EntityID) (Result, error) {
 
 // runOrder returns the target entities sorted by descending total utilized
 // degree (ties by ascending id, keeping the order deterministic).
-func (a *Attack) runOrder(prepared *hin.Graph) []int32 {
+func (a *Attack) runOrder(prepared hin.GraphBackend) []int32 {
 	n := prepared.NumEntities()
 	total := make([]int64, n)
 	var deg []int32

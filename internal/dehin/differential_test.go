@@ -17,7 +17,7 @@ import (
 // auxiliary scan, package-level Hopcroft-Karp, no degree pruning). The
 // differential tests assert the scratch-reusing, signature-pruning engine
 // returns identical candidate sets.
-func refDeanonymize(a *Attack, target *hin.Graph, tv hin.EntityID) []hin.EntityID {
+func refDeanonymize(a *Attack, target hin.GraphBackend, tv hin.EntityID) []hin.EntityID {
 	var profile []hin.EntityID
 	for av := 0; av < a.aux.NumEntities(); av++ {
 		if a.em(target, a.aux, tv, hin.EntityID(av)) {
@@ -40,7 +40,7 @@ func refDeanonymize(a *Attack, target *hin.Graph, tv hin.EntityID) []hin.EntityI
 	return out
 }
 
-func refLinkMatch(a *Attack, target *hin.Graph, n int, tv, av hin.EntityID, memo map[memoKey]bool) bool {
+func refLinkMatch(a *Attack, target hin.GraphBackend, n int, tv, av hin.EntityID, memo map[memoKey]bool) bool {
 	key := memoKey{tv, av, int32(n)}
 	if r, ok := memo[key]; ok {
 		return r
@@ -60,17 +60,18 @@ func refLinkMatch(a *Attack, target *hin.Graph, n int, tv, av hin.EntityID, memo
 	return res
 }
 
-func refDirectionMatch(a *Attack, target *hin.Graph, n int, tv, av hin.EntityID, lt hin.LinkTypeID, inEdges bool, memo map[memoKey]bool) bool {
+func refDirectionMatch(a *Attack, target hin.GraphBackend, n int, tv, av hin.EntityID, lt hin.LinkTypeID, inEdges bool, memo map[memoKey]bool) bool {
 	var tns []hin.EntityID
 	var tws []int32
 	var ans []hin.EntityID
 	var aws []int32
+	tbuf, abuf := &hin.EdgeBuf{}, &hin.EdgeBuf{}
 	if inEdges {
-		tns, tws = target.InEdges(lt, tv)
-		ans, aws = a.aux.InEdges(lt, av)
+		tns, tws = target.InEdgesBuf(tbuf, lt, tv)
+		ans, aws = a.aux.InEdgesBuf(abuf, lt, av)
 	} else {
-		tns, tws = target.OutEdges(lt, tv)
-		ans, aws = a.aux.OutEdges(lt, av)
+		tns, tws = target.OutEdgesBuf(tbuf, lt, tv)
+		ans, aws = a.aux.OutEdgesBuf(abuf, lt, av)
 	}
 	need := len(tns)
 	if a.cfg.NeighborTolerance > 0 {
@@ -336,7 +337,7 @@ func TestProfileSpecValidation(t *testing.T) {
 	}
 	// A custom entity matcher does not consult the profile spec, so a
 	// stale spec next to it stays legal.
-	any := func(tg, ag *hin.Graph, tv, av hin.EntityID) bool { return true }
+	any := func(tg, ag hin.GraphBackend, tv, av hin.EntityID) bool { return true }
 	if _, err := NewAttack(aux, Config{EntityMatch: any, Profile: ProfileSpec{ExactAttrs: []int{42}}}); err != nil {
 		t.Fatalf("custom-matcher attack rejected: %v", err)
 	}

@@ -40,14 +40,15 @@ type MatchExplanation struct {
 // (target, candidate) pair at the attack's configured distance. The
 // candidate need not have been accepted; for a rejected candidate the
 // explanation shows exactly which neighbor slots could not be filled.
-func (a *Attack) ExplainMatch(target *hin.Graph, tv, av hin.EntityID) *MatchExplanation {
+func (a *Attack) ExplainMatch(target hin.GraphBackend, tv, av hin.EntityID) *MatchExplanation {
 	ex := &MatchExplanation{Target: tv, Candidate: av, Complete: true}
 	s := a.getScratch()
 	defer a.putScratch(s)
 	a.ensureMemo(s, target)
+	tbuf, abuf := &hin.EdgeBuf{}, &hin.EdgeBuf{}
 	for _, lt := range a.cfg.LinkTypes {
-		tns, tws := target.OutEdges(lt, tv)
-		ans, aws := a.aux.OutEdges(lt, av)
+		tns, tws := target.OutEdgesBuf(tbuf, lt, tv)
+		ans, aws := a.aux.OutEdgesBuf(abuf, lt, av)
 		if len(tns) == 0 {
 			continue
 		}
@@ -96,7 +97,7 @@ func (a *Attack) ExplainMatch(target *hin.Graph, tv, av hin.EntityID) *MatchExpl
 
 // Render writes the explanation with human-readable labels from the two
 // graphs.
-func (ex *MatchExplanation) Render(target, aux *hin.Graph) string {
+func (ex *MatchExplanation) Render(target, aux hin.GraphBackend) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "target %q vs candidate %q: complete=%v, %d matched, %d unmatched\n",
 		target.Label(ex.Target), aux.Label(ex.Candidate), ex.Complete,

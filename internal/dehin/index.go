@@ -21,7 +21,7 @@ import (
 // string allocation. Wider or overflowing tuples fall back to the byte-
 // string encoding.
 type profileIndex struct {
-	aux     *hin.Graph
+	aux     hin.GraphBackend
 	spec    ProfileSpec
 	primary int // attr index used for ordering, -1 if none
 
@@ -30,13 +30,13 @@ type profileIndex struct {
 	buckets  map[string][]hin.EntityID // string-key buckets (packed == false)
 }
 
-func buildProfileIndex(aux *hin.Graph, spec ProfileSpec) (*profileIndex, error) {
+func buildProfileIndex(aux hin.GraphBackend, spec ProfileSpec) (*profileIndex, error) {
 	return buildProfileIndexOpt(aux, spec, false)
 }
 
 // buildProfileIndexOpt exists so tests and benchmarks can force the
 // string-key fallback on a spec the packed path would normally take.
-func buildProfileIndexOpt(aux *hin.Graph, spec ProfileSpec, forceString bool) (*profileIndex, error) {
+func buildProfileIndexOpt(aux hin.GraphBackend, spec ProfileSpec, forceString bool) (*profileIndex, error) {
 	if err := validateProfileSpec(aux.Schema(), spec); err != nil {
 		return nil, err
 	}
@@ -115,7 +115,7 @@ func validateProfileSpec(s *hin.Schema, spec ProfileSpec) error {
 // false when a value does not fit - the caller falls back to string keys
 // (index build) or reports no bucket (lookup: if every auxiliary value
 // fits and the target's does not, no auxiliary entity can equal it).
-func packedProfileKey(g *hin.Graph, v hin.EntityID, exact []int) (uint64, bool) {
+func packedProfileKey(g hin.GraphBackend, v hin.EntityID, exact []int) (uint64, bool) {
 	var key uint64
 	for _, ai := range exact {
 		x := g.Attr(v, ai)
@@ -129,7 +129,7 @@ func packedProfileKey(g *hin.Graph, v hin.EntityID, exact []int) (uint64, bool) 
 
 // profileKey encodes the exact-match attribute tuple of v as a byte
 // string. An empty ExactAttrs list maps every entity to one bucket.
-func profileKey(g *hin.Graph, v hin.EntityID, exact []int) (string, error) {
+func profileKey(g hin.GraphBackend, v hin.EntityID, exact []int) (string, error) {
 	var b []byte
 	for _, ai := range exact {
 		if ai < 0 || ai >= g.NumAttrs(v) {
@@ -147,7 +147,7 @@ func profileKey(g *hin.Graph, v hin.EntityID, exact []int) (string, error) {
 // lookup returns the auxiliary entities whose exact attributes equal the
 // target's and whose primary growable attribute is >= the target's. The
 // caller still applies the full entity matcher to each.
-func (idx *profileIndex) lookup(target *hin.Graph, tv hin.EntityID) []hin.EntityID {
+func (idx *profileIndex) lookup(target hin.GraphBackend, tv hin.EntityID) []hin.EntityID {
 	var bucket []hin.EntityID
 	if idx.packed {
 		key, ok := packedProfileKey(target, tv, idx.spec.ExactAttrs)

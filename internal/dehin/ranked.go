@@ -27,7 +27,7 @@ type RankedCandidate struct {
 // precision is relatively low ... high reduction rate makes manual
 // investigation of matched candidates possibly practical" - an analyst
 // works the ranked list from the top.
-func (a *Attack) DeanonymizeRanked(target *hin.Graph, tv hin.EntityID) []RankedCandidate {
+func (a *Attack) DeanonymizeRanked(target hin.GraphBackend, tv hin.EntityID) []RankedCandidate {
 	s := a.getScratch()
 	defer a.putScratch(s)
 	profile := a.profileCandidates(s, target, tv)
@@ -52,28 +52,28 @@ func (a *Attack) DeanonymizeRanked(target *hin.Graph, tv hin.EntityID) []RankedC
 // cfg.MaxDistance (depth 0 scores every profile candidate 1). It builds
 // into the frame above the linkMatch recursion's deepest use, so the two
 // never collide.
-func (a *Attack) neighborhoodScore(s *queryScratch, target *hin.Graph, tv, av hin.EntityID) float64 {
+func (a *Attack) neighborhoodScore(s *queryScratch, target hin.GraphBackend, tv, av hin.EntityID) float64 {
 	if a.cfg.MaxDistance == 0 {
 		return 1
 	}
 	totalSlots, matchedSlots := 0, 0
 	count := func(lt hin.LinkTypeID, inEdges bool) {
+		f := s.frame(a.cfg.MaxDistance)
 		var tns []hin.EntityID
 		var tws []int32
 		var ans []hin.EntityID
 		var aws []int32
 		if inEdges {
-			tns, tws = target.InEdges(lt, tv)
-			ans, aws = a.aux.InEdges(lt, av)
+			tns, tws = target.InEdgesBuf(&f.tbuf, lt, tv)
+			ans, aws = a.aux.InEdgesBuf(&f.abuf, lt, av)
 		} else {
-			tns, tws = target.OutEdges(lt, tv)
-			ans, aws = a.aux.OutEdges(lt, av)
+			tns, tws = target.OutEdgesBuf(&f.tbuf, lt, tv)
+			ans, aws = a.aux.OutEdgesBuf(&f.abuf, lt, av)
 		}
 		if len(tns) == 0 {
 			return
 		}
 		totalSlots += len(tns)
-		f := s.frame(a.cfg.MaxDistance)
 		f.reset()
 		for i, tb := range tns {
 			for j, ab := range ans {

@@ -38,7 +38,7 @@ type degSignature struct {
 // buildDegSignature precomputes the signature, parallelized across
 // GOMAXPROCS over disjoint entity ranges (each worker writes its own
 // slice segment; no synchronization beyond the WaitGroup).
-func buildDegSignature(aux *hin.Graph, lts []hin.LinkTypeID, useIn bool) *degSignature {
+func buildDegSignature(aux hin.GraphBackend, lts []hin.LinkTypeID, useIn bool) *degSignature {
 	n := aux.NumEntities()
 	L := len(lts)
 	sig := &degSignature{lts: lts, out: make([]int32, n*L)}
@@ -106,7 +106,7 @@ func (d *degSignature) admits(needs []int32, av hin.EntityID) bool {
 // constrains nothing.
 //
 //hin:hot
-func (a *Attack) computeNeeds(s *queryScratch, target *hin.Graph, tv hin.EntityID) {
+func (a *Attack) computeNeeds(s *queryScratch, target hin.GraphBackend, tv hin.EntityID) {
 	L := len(a.cfg.LinkTypes)
 	sz := L
 	if a.cfg.UseInEdges {

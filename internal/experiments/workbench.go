@@ -34,6 +34,10 @@ type Workbench struct {
 	Params  Params
 	Dataset *tqq.Dataset
 	Index   *dehin.Index
+	// Aux is the auxiliary graph in the backend Params.Backend selected:
+	// Dataset.Graph itself for "mem" (the default), or its compact CSR
+	// form for "csr". Every attack the workbench builds runs against Aux.
+	Aux hin.GraphBackend
 
 	// byDensity[i] lists the community indices of Params.Densities[i].
 	byDensity [][]int
@@ -163,7 +167,13 @@ func NewWorkbench(p Params) (*Workbench, error) {
 	if err != nil {
 		return nil, err
 	}
-	idx, err := dehin.NewIndex(ds.Graph, dehin.TQQProfile())
+	var aux hin.GraphBackend = ds.Graph
+	if p.Backend == BackendCSR {
+		sp := p.Trace.Start("workbench.csr_convert")
+		aux = hin.FromGraph(ds.Graph)
+		sp.End()
+	}
+	idx, err := dehin.NewIndex(aux, dehin.TQQProfile())
 	if err != nil {
 		return nil, err
 	}
@@ -171,6 +181,7 @@ func NewWorkbench(p Params) (*Workbench, error) {
 		Params:    p,
 		Dataset:   ds,
 		Index:     idx,
+		Aux:       aux,
 		byDensity: byDensity,
 		targets:   make([]targetSlot, len(cfg.Communities)),
 		attacks:   make(map[string]*attackSlot),
@@ -392,7 +403,7 @@ func (w *Workbench) Attack(cfg dehin.Config) (*dehin.Attack, error) {
 		cfg.Trace = w.Params.Trace
 	}
 	if cfg.EntityMatch != nil || cfg.LinkMatch != nil {
-		return dehin.NewAttack(w.Dataset.Graph, cfg)
+		return dehin.NewAttack(w.Aux, cfg)
 	}
 	key := attackKey(cfg)
 	w.mu.Lock()
@@ -409,7 +420,7 @@ func (w *Workbench) Attack(cfg dehin.Config) (*dehin.Attack, error) {
 		sp := w.tr.Start("workbench.attack_fill")
 		sp.Attr("distance", int64(cfg.MaxDistance))
 		sp.Attr("link_types", int64(len(cfg.LinkTypes)))
-		s.a, s.err = dehin.NewAttack(w.Dataset.Graph, cfg)
+		s.a, s.err = dehin.NewAttack(w.Aux, cfg)
 		sp.End()
 	})
 	if !fresh {
@@ -438,7 +449,7 @@ func attackKey(cfg dehin.Config) string {
 
 // AttackOn is Attack against an alternative auxiliary graph (e.g. a grown
 // crawl), building a fresh index.
-func AttackOn(aux *hin.Graph, cfg dehin.Config) (*dehin.Attack, error) {
+func AttackOn(aux hin.GraphBackend, cfg dehin.Config) (*dehin.Attack, error) {
 	cfg.Profile = dehin.TQQProfile()
 	cfg.UseIndex = true
 	return dehin.NewAttack(aux, cfg)

@@ -1,0 +1,716 @@
+package hin
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// On-disk CSR graph format ("HINCSR"), version 1.
+//
+// A 24-byte header:
+//
+//	[0:8)   magic "HINCSR01"
+//	[8:12)  format version, uint32 LE
+//	[12:16) CRC-32C (Castagnoli) of everything after the header
+//	[16:24) total file size in bytes, uint64 LE
+//
+// followed by length-prefixed sections ([uint64 LE length][payload]) in
+// fixed order:
+//
+//	schema      JSON {EntityTypes, LinkTypes}, reconstructed via NewSchema
+//	meta        3 x uint64 LE: numEntities, numLinkTypes, numSets
+//	etype       one byte per entity
+//	labelOff    (n+1) x uint64 LE byte offsets into labelBlob
+//	labelBlob   concatenated label bytes
+//	attrDict    distinct attribute values, int64 LE, first-occurrence order
+//	attrOff     (n+1) x uint64 LE code-index offsets into attrCodes
+//	attrCodes   one uint32 LE dictionary code per scalar attribute
+//	sets        per set column, name-ascending: uint64 nameLen, name,
+//	            (n+1) x uint64 value-index offsets, uint64 valueCount,
+//	            values int32 LE
+//	adjacency   per link type id ascending, four sections each:
+//	            fwd dat, fwd rowOff, rev dat, rev rowOff (see adjcodec.go)
+//
+// The loader validates the header, then every section's structure - down
+// to strict-decoding each adjacency row - before returning, so the hot
+// query path may use the trusting decoder on mmap'd bytes.
+const (
+	csrMagic      = "HINCSR01"
+	csrVersion    = 1
+	csrHeaderSize = 24
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// sectionFile writes the section stream with placeholder lengths patched
+// in after the payload sizes are known, so adjacency sections can stream
+// without buffering. Errors are sticky: the first failure is returned by
+// finish and every later write is a no-op.
+type sectionFile struct {
+	f        *os.File
+	w        *writerCounter
+	patches  []lenPatch
+	curLen   int64 // file offset of the open section's length field
+	curStart int64
+	err      error
+}
+
+type lenPatch struct{ off, val int64 }
+
+type writerCounter struct {
+	buf []byte
+	f   *os.File
+	pos int64
+}
+
+func (w *writerCounter) write(p []byte) error {
+	w.pos += int64(len(p))
+	for len(p) > 0 {
+		free := cap(w.buf) - len(w.buf)
+		if free == 0 {
+			if err := w.flush(); err != nil {
+				return err
+			}
+			free = cap(w.buf)
+		}
+		k := min(free, len(p))
+		w.buf = append(w.buf, p[:k]...)
+		p = p[k:]
+	}
+	return nil
+}
+
+func (w *writerCounter) flush() error {
+	if len(w.buf) == 0 {
+		return nil
+	}
+	_, err := w.f.Write(w.buf)
+	w.buf = w.buf[:0]
+	return err
+}
+
+func newSectionFile(path string) (*sectionFile, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	sf := &sectionFile{
+		f:      f,
+		w:      &writerCounter{buf: make([]byte, 0, 1<<20), f: f},
+		curLen: -1,
+	}
+	sf.write(make([]byte, csrHeaderSize)) // patched by finish
+	return sf, nil
+}
+
+func (sf *sectionFile) write(p []byte) {
+	if sf.err != nil {
+		return
+	}
+	sf.err = sf.w.write(p)
+}
+
+func (sf *sectionFile) begin() {
+	sf.curLen = sf.w.pos
+	sf.write(make([]byte, 8))
+	sf.curStart = sf.w.pos
+}
+
+func (sf *sectionFile) end() {
+	sf.patches = append(sf.patches, lenPatch{sf.curLen, sf.w.pos - sf.curStart})
+	sf.curLen = -1
+}
+
+func (sf *sectionFile) writeSection(payload []byte) {
+	sf.begin()
+	sf.write(payload)
+	sf.end()
+}
+
+// finish patches the section lengths, computes the body checksum in one
+// sequential re-read, writes the header, and closes the file.
+func (sf *sectionFile) finish() error {
+	if sf.err == nil {
+		sf.err = sf.w.flush()
+	}
+	if sf.err != nil {
+		sf.f.Close()
+		return sf.err
+	}
+	var le [8]byte
+	for _, p := range sf.patches {
+		binary.LittleEndian.PutUint64(le[:], uint64(p.val))
+		if _, err := sf.f.WriteAt(le[:], p.off); err != nil {
+			sf.f.Close()
+			return err
+		}
+	}
+	if _, err := sf.f.Seek(csrHeaderSize, io.SeekStart); err != nil {
+		sf.f.Close()
+		return err
+	}
+	crc := uint32(0)
+	chunk := make([]byte, 1<<20)
+	for {
+		k, err := sf.f.Read(chunk)
+		crc = crc32.Update(crc, castagnoli, chunk[:k])
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			sf.f.Close()
+			return err
+		}
+	}
+	var hdr [csrHeaderSize]byte
+	copy(hdr[0:8], csrMagic)
+	binary.LittleEndian.PutUint32(hdr[8:12], csrVersion)
+	binary.LittleEndian.PutUint32(hdr[12:16], crc)
+	binary.LittleEndian.PutUint64(hdr[16:24], uint64(sf.w.pos))
+	if _, err := sf.f.WriteAt(hdr[:], 0); err != nil {
+		sf.f.Close()
+		return err
+	}
+	if err := sf.f.Sync(); err != nil {
+		sf.f.Close()
+		return err
+	}
+	return sf.f.Close()
+}
+
+type schemaJSON struct {
+	EntityTypes []EntityType
+	LinkTypes   []LinkType
+}
+
+func marshalSchema(s *Schema) ([]byte, error) {
+	sj := schemaJSON{
+		EntityTypes: make([]EntityType, s.NumEntityTypes()),
+		LinkTypes:   make([]LinkType, s.NumLinkTypes()),
+	}
+	for i := range sj.EntityTypes {
+		sj.EntityTypes[i] = s.EntityType(EntityTypeID(i))
+	}
+	for i := range sj.LinkTypes {
+		sj.LinkTypes[i] = s.LinkType(LinkTypeID(i))
+	}
+	return json.Marshal(sj)
+}
+
+// WriteCSRFile persists any backend as a version-1 CSR file. It streams
+// the adjacency sections row by row through one reused decode buffer;
+// only the O(n) offset columns are materialized in memory.
+func WriteCSRFile(path string, g GraphBackend) (err error) {
+	sf, err := newSectionFile(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			sf.f.Close()
+			os.Remove(path)
+		}
+	}()
+
+	s := g.Schema()
+	sj, err := marshalSchema(s)
+	if err != nil {
+		return err
+	}
+	sf.writeSection(sj)
+
+	n := g.NumEntities()
+	L := s.NumLinkTypes()
+	setNames := g.SetNames()
+	meta := make([]byte, 0, 24)
+	meta = appendU64(meta, uint64(n))
+	meta = appendU64(meta, uint64(L))
+	meta = appendU64(meta, uint64(len(setNames)))
+	sf.writeSection(meta)
+
+	// etype.
+	sf.begin()
+	chunk := make([]byte, 0, 1<<16)
+	for v := 0; v < n; v++ {
+		chunk = append(chunk, byte(g.EntityType(EntityID(v))))
+		if len(chunk) == cap(chunk) {
+			sf.write(chunk)
+			chunk = chunk[:0]
+		}
+	}
+	sf.write(chunk)
+	sf.end()
+
+	// labelOff (offset pre-pass), then labelBlob.
+	sf.begin()
+	var off uint64
+	chunk = chunk[:0]
+	chunk = appendU64(chunk, 0)
+	for v := 0; v < n; v++ {
+		off += uint64(len(g.Label(EntityID(v))))
+		chunk = appendU64(chunk, off)
+		if len(chunk)+8 > cap(chunk) {
+			sf.write(chunk)
+			chunk = chunk[:0]
+		}
+	}
+	sf.write(chunk)
+	sf.end()
+	sf.begin()
+	chunk = chunk[:0]
+	for v := 0; v < n; v++ {
+		l := g.Label(EntityID(v))
+		if len(chunk)+len(l) > cap(chunk) {
+			sf.write(chunk)
+			chunk = chunk[:0]
+		}
+		if len(l) >= cap(chunk) {
+			sf.write([]byte(l))
+			continue
+		}
+		chunk = append(chunk, l...)
+	}
+	sf.write(chunk)
+	sf.end()
+
+	// Attribute columns: one interning pass buffers the codes (the dict
+	// section precedes them and is only complete after the pass).
+	intern := newAttrInterner()
+	attrOff := make([]byte, 0, (n+1)*8)
+	attrOff = appendU64(attrOff, 0)
+	var attrCodes []byte
+	var attrScratch []int64
+	codes := 0
+	for v := 0; v < n; v++ {
+		attrScratch = g.AppendAttrs(attrScratch[:0], EntityID(v))
+		for _, a := range attrScratch {
+			attrCodes = binary.LittleEndian.AppendUint32(attrCodes, intern.code(a))
+			codes++
+		}
+		attrOff = appendU64(attrOff, uint64(codes))
+	}
+	dict := make([]byte, 0, len(intern.dict)*8)
+	for _, a := range intern.dict {
+		dict = appendU64(dict, uint64(a))
+	}
+	sf.writeSection(dict)
+	sf.writeSection(attrOff)
+	sf.writeSection(attrCodes)
+
+	// Sets: one composite section, names ascending.
+	sf.begin()
+	for _, name := range setNames {
+		chunk = chunk[:0]
+		chunk = appendU64(chunk, uint64(len(name)))
+		chunk = append(chunk, name...)
+		sf.write(chunk)
+		var total uint64
+		chunk = chunk[:0]
+		chunk = appendU64(chunk, 0)
+		for v := 0; v < n; v++ {
+			total += uint64(len(g.Set(name, EntityID(v))))
+			chunk = appendU64(chunk, total)
+			if len(chunk)+8 > cap(chunk) {
+				sf.write(chunk)
+				chunk = chunk[:0]
+			}
+		}
+		chunk = appendU64(chunk, total)
+		sf.write(chunk)
+		chunk = chunk[:0]
+		for v := 0; v < n; v++ {
+			for _, x := range g.Set(name, EntityID(v)) {
+				chunk = binary.LittleEndian.AppendUint32(chunk, uint32(x))
+				if len(chunk)+4 > cap(chunk) {
+					sf.write(chunk)
+					chunk = chunk[:0]
+				}
+			}
+		}
+		sf.write(chunk)
+	}
+	sf.end()
+
+	// Adjacency: per link type, fwd then rev, dat streamed row by row
+	// while the rowOff column accumulates in memory.
+	ebuf := &EdgeBuf{}
+	rowOff := make([]byte, 0, (n+1)*8)
+	enc := make([]byte, 0, 4096)
+	for lt := 0; lt < L; lt++ {
+		weighted := s.LinkType(LinkTypeID(lt)).Weighted
+		for dir := 0; dir < 2; dir++ {
+			rowOff = rowOff[:0]
+			rowOff = appendU64(rowOff, 0)
+			var total uint64
+			sf.begin()
+			for v := 0; v < n; v++ {
+				var tos []EntityID
+				var ws []int32
+				if dir == 0 {
+					tos, ws = g.OutEdgesBuf(ebuf, LinkTypeID(lt), EntityID(v))
+				} else {
+					tos, ws = g.InEdgesBuf(ebuf, LinkTypeID(lt), EntityID(v))
+				}
+				enc = appendAdjRow(enc[:0], tos, ws, weighted)
+				total += uint64(len(enc))
+				sf.write(enc)
+				rowOff = appendU64(rowOff, total)
+			}
+			sf.end()
+			sf.writeSection(rowOff)
+		}
+	}
+	return sf.finish()
+}
+
+// CSRFile is an opened on-disk CSR graph: the decoded CSRGraph plus the
+// mapping it aliases. Close releases the mapping; the graph must not be
+// used afterwards.
+type CSRFile struct {
+	g     *CSRGraph
+	unmap func() error
+}
+
+// Graph returns the backend view of the file.
+func (c *CSRFile) Graph() *CSRGraph { return c.g }
+
+// Close releases the underlying mapping. Idempotent.
+func (c *CSRFile) Close() error {
+	if c == nil || c.unmap == nil {
+		return nil
+	}
+	u := c.unmap
+	c.unmap = nil
+	c.g = nil
+	return u()
+}
+
+type sectionCursor struct {
+	data []byte
+	pos  int
+}
+
+func (c *sectionCursor) next(name string) ([]byte, error) {
+	if c.pos+8 > len(c.data) {
+		return nil, fmt.Errorf("truncated %s section header at offset %d", name, c.pos)
+	}
+	l := binary.LittleEndian.Uint64(c.data[c.pos:])
+	c.pos += 8
+	if l > uint64(len(c.data)-c.pos) {
+		return nil, fmt.Errorf("%s section length %d exceeds file", name, l)
+	}
+	payload := c.data[c.pos : c.pos+int(l)]
+	c.pos += int(l)
+	return payload, nil
+}
+
+// OpenCSRFile maps path and returns the validated graph. On unix the file
+// is mmap'd read-only (the adjacency and label columns alias the mapping);
+// elsewhere it is read into memory. Every failure mode - short file, bad
+// magic, version skew, checksum mismatch, malformed section - returns a
+// descriptive error with the mapping already released.
+func OpenCSRFile(path string) (*CSRFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	size := st.Size()
+	if size < csrHeaderSize {
+		f.Close()
+		return nil, fmt.Errorf("hin: csr file %s: truncated: %d bytes, need at least the %d-byte header", path, size, csrHeaderSize)
+	}
+	data, unmap, err := mmapFile(f, size)
+	f.Close()
+	if err != nil {
+		return nil, fmt.Errorf("hin: csr file %s: %w", path, err)
+	}
+	g, err := parseCSRFile(data)
+	if err != nil {
+		unmap()
+		return nil, fmt.Errorf("hin: csr file %s: %w", path, err)
+	}
+	return &CSRFile{g: g, unmap: unmap}, nil
+}
+
+func parseCSRFile(data []byte) (*CSRGraph, error) {
+	if string(data[0:8]) != csrMagic {
+		return nil, fmt.Errorf("bad magic %q, want %q", data[0:8], csrMagic)
+	}
+	if v := binary.LittleEndian.Uint32(data[8:12]); v != csrVersion {
+		return nil, fmt.Errorf("unsupported format version %d, want %d", v, csrVersion)
+	}
+	if sz := binary.LittleEndian.Uint64(data[16:24]); sz != uint64(len(data)) {
+		return nil, fmt.Errorf("header records %d bytes but file has %d (truncated or padded)", sz, len(data))
+	}
+	want := binary.LittleEndian.Uint32(data[12:16])
+	if got := crc32.Checksum(data[csrHeaderSize:], castagnoli); got != want {
+		return nil, fmt.Errorf("checksum mismatch: header %08x, body %08x", want, got)
+	}
+
+	cur := &sectionCursor{data: data, pos: csrHeaderSize}
+	sj, err := cur.next("schema")
+	if err != nil {
+		return nil, err
+	}
+	var sd schemaJSON
+	if err := json.Unmarshal(sj, &sd); err != nil {
+		return nil, fmt.Errorf("schema section: %w", err)
+	}
+	schema, err := NewSchema(sd.EntityTypes, sd.LinkTypes)
+	if err != nil {
+		return nil, fmt.Errorf("schema section: %w", err)
+	}
+
+	meta, err := cur.next("meta")
+	if err != nil {
+		return nil, err
+	}
+	if len(meta) != 24 {
+		return nil, fmt.Errorf("meta section: %d bytes, want 24", len(meta))
+	}
+	n64 := binary.LittleEndian.Uint64(meta[0:8])
+	ltCount := binary.LittleEndian.Uint64(meta[8:16])
+	setCount := binary.LittleEndian.Uint64(meta[16:24])
+	if n64 > uint64(maxInt32) {
+		return nil, fmt.Errorf("meta section: %d entities exceeds the int32 id space", n64)
+	}
+	n := int(n64)
+	if int(ltCount) != schema.NumLinkTypes() {
+		return nil, fmt.Errorf("meta section: %d link types but schema declares %d", ltCount, schema.NumLinkTypes())
+	}
+
+	g := &CSRGraph{schema: schema, n: n}
+	if g.etype, err = cur.next("etype"); err != nil {
+		return nil, err
+	}
+	if len(g.etype) != n {
+		return nil, fmt.Errorf("etype section: %d bytes, want %d", len(g.etype), n)
+	}
+	for v := 0; v < n; v++ {
+		if int(g.etype[v]) >= schema.NumEntityTypes() {
+			return nil, fmt.Errorf("etype section: entity %d has unknown type %d", v, g.etype[v])
+		}
+	}
+
+	if g.labelOff, err = cur.next("labelOff"); err != nil {
+		return nil, err
+	}
+	if g.labelBlob, err = cur.next("labelBlob"); err != nil {
+		return nil, err
+	}
+	if err := checkOffsets("labelOff", g.labelOff, n, uint64(len(g.labelBlob))); err != nil {
+		return nil, err
+	}
+
+	dict, err := cur.next("attrDict")
+	if err != nil {
+		return nil, err
+	}
+	if len(dict)%8 != 0 {
+		return nil, fmt.Errorf("attrDict section: length %d not a multiple of 8", len(dict))
+	}
+	g.attrDict = make([]int64, len(dict)/8)
+	for i := range g.attrDict {
+		g.attrDict[i] = int64(binary.LittleEndian.Uint64(dict[i*8:]))
+	}
+	if g.attrOff, err = cur.next("attrOff"); err != nil {
+		return nil, err
+	}
+	if g.attrCodes, err = cur.next("attrCodes"); err != nil {
+		return nil, err
+	}
+	if len(g.attrCodes)%4 != 0 {
+		return nil, fmt.Errorf("attrCodes section: length %d not a multiple of 4", len(g.attrCodes))
+	}
+	if err := checkOffsets("attrOff", g.attrOff, n, uint64(len(g.attrCodes)/4)); err != nil {
+		return nil, err
+	}
+	for i := 0; i < len(g.attrCodes)/4; i++ {
+		if code := binary.LittleEndian.Uint32(g.attrCodes[i*4:]); int(code) >= len(g.attrDict) {
+			return nil, fmt.Errorf("attrCodes section: code %d at index %d exceeds dictionary size %d", code, i, len(g.attrDict))
+		}
+	}
+	for v := 0; v < n; v++ {
+		want := len(schema.EntityType(EntityTypeID(g.etype[v])).Attrs)
+		if got := g.NumAttrs(EntityID(v)); got != want {
+			return nil, fmt.Errorf("attrOff section: entity %d has %d attrs, type %q declares %d",
+				v, got, schema.EntityType(EntityTypeID(g.etype[v])).Name, want)
+		}
+	}
+
+	setsPayload, err := cur.next("sets")
+	if err != nil {
+		return nil, err
+	}
+	if g.sets, err = parseSetColumns(setsPayload, schema, g.etype, n, int(setCount)); err != nil {
+		return nil, err
+	}
+
+	L := schema.NumLinkTypes()
+	g.fwd = make([]csrAdj, L)
+	g.rev = make([]csrAdj, L)
+	buf := &EdgeBuf{}
+	for lt := 0; lt < L; lt++ {
+		weighted := schema.LinkType(LinkTypeID(lt)).Weighted
+		name := schema.LinkType(LinkTypeID(lt)).Name
+		fwd, err := parseCSRAdj(cur, fmt.Sprintf("link %q fwd", name), n, weighted, buf)
+		if err != nil {
+			return nil, err
+		}
+		rev, err := parseCSRAdj(cur, fmt.Sprintf("link %q rev", name), n, weighted, buf)
+		if err != nil {
+			return nil, err
+		}
+		if fwd.count != rev.count {
+			return nil, fmt.Errorf("link %q: forward adjacency has %d edges, reverse %d", name, fwd.count, rev.count)
+		}
+		g.fwd[lt], g.rev[lt] = fwd, rev
+	}
+	if cur.pos != len(data) {
+		return nil, fmt.Errorf("%d trailing bytes after last section", len(data)-cur.pos)
+	}
+	return g, nil
+}
+
+// checkOffsets validates an (n+1) x uint64 LE offset column: correct
+// length, starts at 0, monotone non-decreasing, ends at end.
+func checkOffsets(name string, raw []byte, n int, end uint64) error {
+	if len(raw) != (n+1)*8 {
+		return fmt.Errorf("%s section: %d bytes, want %d", name, len(raw), (n+1)*8)
+	}
+	prev := uint64(0)
+	if first := binary.LittleEndian.Uint64(raw); first != 0 {
+		return fmt.Errorf("%s section: first offset %d, want 0", name, first)
+	}
+	for v := 1; v <= n; v++ {
+		o := binary.LittleEndian.Uint64(raw[v*8:])
+		if o < prev {
+			return fmt.Errorf("%s section: offset %d at entity %d below predecessor %d", name, o, v, prev)
+		}
+		prev = o
+	}
+	if prev != end {
+		return fmt.Errorf("%s section: final offset %d, want %d", name, prev, end)
+	}
+	return nil
+}
+
+func parseSetColumns(payload []byte, schema *Schema, etype []byte, n, count int) (map[string]*setCol, error) {
+	sets := make(map[string]*setCol, count)
+	pos := 0
+	u64 := func() (uint64, error) {
+		if pos+8 > len(payload) {
+			return 0, errors.New("sets section: truncated")
+		}
+		v := binary.LittleEndian.Uint64(payload[pos:])
+		pos += 8
+		return v, nil
+	}
+	prevName := ""
+	for i := 0; i < count; i++ {
+		nameLen, err := u64()
+		if err != nil {
+			return nil, err
+		}
+		if nameLen > uint64(len(payload)-pos) {
+			return nil, fmt.Errorf("sets section: name length %d exceeds section", nameLen)
+		}
+		name := string(payload[pos : pos+int(nameLen)])
+		pos += int(nameLen)
+		if i > 0 && name <= prevName {
+			return nil, fmt.Errorf("sets section: name %q out of order after %q", name, prevName)
+		}
+		prevName = name
+		declared := false
+		for t := 0; t < schema.NumEntityTypes(); t++ {
+			if schema.SetAttrIndex(EntityTypeID(t), name) >= 0 {
+				declared = true
+			}
+		}
+		if !declared {
+			return nil, fmt.Errorf("sets section: set %q not declared by any entity type", name)
+		}
+		if (n+1)*8 > len(payload)-pos {
+			return nil, fmt.Errorf("sets section: set %q offsets truncated", name)
+		}
+		col := &setCol{off: make([]int64, n+1)}
+		for v := 0; v <= n; v++ {
+			col.off[v] = int64(binary.LittleEndian.Uint64(payload[pos+v*8:]))
+		}
+		pos += (n + 1) * 8
+		valCount, err := u64()
+		if err != nil {
+			return nil, err
+		}
+		if col.off[0] != 0 {
+			return nil, fmt.Errorf("sets section: set %q first offset %d, want 0", name, col.off[0])
+		}
+		for v := 0; v < n; v++ {
+			if col.off[v+1] < col.off[v] {
+				return nil, fmt.Errorf("sets section: set %q offsets decrease at entity %d", name, v+1)
+			}
+			if col.off[v+1] > col.off[v] && schema.SetAttrIndex(EntityTypeID(etype[v]), name) < 0 {
+				return nil, fmt.Errorf("sets section: entity %d carries set %q its type does not declare", v, name)
+			}
+		}
+		if col.off[n] != int64(valCount) {
+			return nil, fmt.Errorf("sets section: set %q final offset %d, want %d values", name, col.off[n], valCount)
+		}
+		if valCount*4 > uint64(len(payload)-pos) {
+			return nil, fmt.Errorf("sets section: set %q values truncated", name)
+		}
+		col.data = make([]int32, valCount)
+		for j := range col.data {
+			col.data[j] = int32(binary.LittleEndian.Uint32(payload[pos+j*4:]))
+		}
+		pos += int(valCount) * 4
+		for v := 0; v < n; v++ {
+			row := col.data[col.off[v]:col.off[v+1]]
+			for j := 1; j < len(row); j++ {
+				if row[j] < row[j-1] {
+					return nil, fmt.Errorf("sets section: set %q values of entity %d not sorted", name, v)
+				}
+			}
+		}
+		sets[name] = col
+	}
+	if pos != len(payload) {
+		return nil, fmt.Errorf("sets section: %d trailing bytes", len(payload)-pos)
+	}
+	return sets, nil
+}
+
+// parseCSRAdj reads one direction's dat + rowOff sections and strict-
+// decodes every row, so the hot path may use the trusting decoder.
+func parseCSRAdj(cur *sectionCursor, name string, n int, weighted bool, buf *EdgeBuf) (csrAdj, error) {
+	dat, err := cur.next(name + " dat")
+	if err != nil {
+		return csrAdj{}, err
+	}
+	rowOff, err := cur.next(name + " rowOff")
+	if err != nil {
+		return csrAdj{}, err
+	}
+	if err := checkOffsets(name+" rowOff", rowOff, n, uint64(len(dat))); err != nil {
+		return csrAdj{}, err
+	}
+	c := csrAdj{rowOff: rowOff, dat: dat, weighted: weighted}
+	for v := 0; v < n; v++ {
+		ids, _, err := decodeAdjRow(c.row(EntityID(v)), weighted, n, buf)
+		if err != nil {
+			return csrAdj{}, fmt.Errorf("%s row %d: %w", name, v, err)
+		}
+		c.count += int64(len(ids))
+	}
+	return c, nil
+}

@@ -1,0 +1,414 @@
+package hin
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// CSRWriter streams a graph straight to the on-disk CSR format without
+// ever materializing full edge slices: edges spill to per-link-type temp
+// files as 12-byte records, and Finalize routes them through bounded
+// sort buckets into the final file. Peak memory is the O(n) entity
+// columns plus one ~48MB sort bucket, independent of edge count - the
+// builder for datasets too large for Builder + WriteCSRFile.
+//
+// Validation semantics mirror Builder exactly (same panics on entity
+// shape mistakes, same errors on bad edges, same duplicate-edge merge at
+// Finalize), and the output is byte-identical to
+// WriteCSRFile(path, Builder.Build()) for the same entity/edge stream.
+type CSRWriter struct {
+	schema *Schema
+	path   string
+
+	etype     []byte
+	labelOff  []byte
+	labelBlob []byte
+
+	intern    *attrInterner
+	attrOff   []byte
+	attrCodes []byte
+	codes     int
+
+	sets map[string]map[EntityID][]int32
+
+	spills   []*spillFile
+	finished bool
+}
+
+type spillFile struct {
+	path    string
+	w       *writerCounter
+	records int64
+}
+
+const (
+	spillRecSize      = 12
+	bucketTargetBytes = 48 << 20
+)
+
+// NewCSRWriter opens the temp spill files next to path and returns a
+// writer for the given schema.
+func NewCSRWriter(schema *Schema, path string) (*CSRWriter, error) {
+	w := &CSRWriter{
+		schema:   schema,
+		path:     path,
+		labelOff: appendU64(nil, 0),
+		intern:   newAttrInterner(),
+		attrOff:  appendU64(nil, 0),
+		sets:     make(map[string]map[EntityID][]int32),
+		spills:   make([]*spillFile, schema.NumLinkTypes()),
+	}
+	for lt := range w.spills {
+		p := fmt.Sprintf("%s.spill.%d", path, lt)
+		f, err := os.Create(p)
+		if err != nil {
+			w.removeTemp()
+			return nil, err
+		}
+		w.spills[lt] = &spillFile{path: p, w: &writerCounter{buf: make([]byte, 0, 1<<18), f: f}}
+	}
+	return w, nil
+}
+
+func (w *CSRWriter) removeTemp() {
+	for _, s := range w.spills {
+		if s != nil {
+			s.w.f.Close()
+			os.Remove(s.path)
+		}
+	}
+}
+
+// NumEntities returns how many entities have been added so far.
+func (w *CSRWriter) NumEntities() int { return len(w.etype) }
+
+// AddEntity appends an entity, mirroring Builder.AddEntity (panics on an
+// unknown type or wrong attribute count).
+func (w *CSRWriter) AddEntity(t EntityTypeID, label string, attrs ...int64) EntityID {
+	if int(t) >= w.schema.NumEntityTypes() {
+		panic(fmt.Sprintf("hin: AddEntity with unknown entity type %d", t))
+	}
+	decl := w.schema.EntityType(t)
+	if len(attrs) != len(decl.Attrs) {
+		panic(fmt.Sprintf("hin: entity type %q takes %d attrs, got %d",
+			decl.Name, len(decl.Attrs), len(attrs)))
+	}
+	id := EntityID(len(w.etype))
+	w.etype = append(w.etype, byte(t))
+	w.labelBlob = append(w.labelBlob, label...)
+	w.labelOff = appendU64(w.labelOff, uint64(len(w.labelBlob)))
+	for _, a := range attrs {
+		w.attrCodes = binary.LittleEndian.AppendUint32(w.attrCodes, w.intern.code(a))
+		w.codes++
+	}
+	w.attrOff = appendU64(w.attrOff, uint64(w.codes))
+	return id
+}
+
+// SetSet assigns the named multi-valued attribute of entity v, mirroring
+// Builder.SetSet.
+func (w *CSRWriter) SetSet(name string, v EntityID, vals []int32) {
+	if v < 0 || int(v) >= len(w.etype) {
+		panic(fmt.Sprintf("hin: SetSet on unknown entity %d", v))
+	}
+	if w.schema.SetAttrIndex(EntityTypeID(w.etype[v]), name) < 0 {
+		panic(fmt.Sprintf("hin: entity type %q has no set attribute %q",
+			w.schema.EntityType(EntityTypeID(w.etype[v])).Name, name))
+	}
+	col := w.sets[name]
+	if col == nil {
+		col = make(map[EntityID][]int32)
+		w.sets[name] = col
+	}
+	if len(vals) == 0 {
+		delete(col, v)
+		return
+	}
+	cp := append([]int32(nil), vals...)
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	col[v] = cp
+}
+
+// AddEdge appends a directed edge, mirroring Builder.AddEdge's checks.
+// The edge spills to disk; duplicates merge at Finalize.
+func (w *CSRWriter) AddEdge(lt LinkTypeID, from, to EntityID, weight int32) error {
+	if int(lt) >= w.schema.NumLinkTypes() {
+		return fmt.Errorf("hin: unknown link type %d", lt)
+	}
+	if from < 0 || int(from) >= len(w.etype) {
+		return fmt.Errorf("hin: edge source %d out of range", from)
+	}
+	if to < 0 || int(to) >= len(w.etype) {
+		return fmt.Errorf("hin: edge destination %d out of range", to)
+	}
+	decl := w.schema.LinkType(lt)
+	if ft := w.schema.EntityType(EntityTypeID(w.etype[from])).Name; ft != decl.From {
+		return fmt.Errorf("hin: link %q requires source type %q, entity %d has %q",
+			decl.Name, decl.From, from, ft)
+	}
+	if tt := w.schema.EntityType(EntityTypeID(w.etype[to])).Name; tt != decl.To {
+		return fmt.Errorf("hin: link %q requires destination type %q, entity %d has %q",
+			decl.Name, decl.To, to, tt)
+	}
+	if from == to && !decl.AllowSelf {
+		return fmt.Errorf("hin: link %q forbids self-loops (entity %d)", decl.Name, from)
+	}
+	if weight <= 0 {
+		return fmt.Errorf("hin: edge strength must be positive, got %d", weight)
+	}
+	if !decl.Weighted && weight != 1 {
+		return fmt.Errorf("hin: unweighted link %q requires strength 1, got %d", decl.Name, weight)
+	}
+	var rec [spillRecSize]byte
+	binary.LittleEndian.PutUint32(rec[0:4], uint32(from))
+	binary.LittleEndian.PutUint32(rec[4:8], uint32(to))
+	binary.LittleEndian.PutUint32(rec[8:12], uint32(weight))
+	s := w.spills[lt]
+	if err := s.w.write(rec[:]); err != nil {
+		return err
+	}
+	s.records++
+	return nil
+}
+
+type edgeRec struct{ src, dst, w int32 }
+
+// Finalize merges the spilled edges, writes the CSR file, and removes the
+// temp files. The writer must not be used afterwards.
+func (w *CSRWriter) Finalize() (err error) {
+	if w.finished {
+		return fmt.Errorf("hin: CSRWriter already finalized")
+	}
+	w.finished = true
+	defer w.removeTemp()
+
+	sf, err := newSectionFile(w.path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			sf.f.Close()
+			os.Remove(w.path)
+		}
+	}()
+
+	sj, err := marshalSchema(w.schema)
+	if err != nil {
+		return err
+	}
+	sf.writeSection(sj)
+
+	n := len(w.etype)
+	L := w.schema.NumLinkTypes()
+	setNames := make([]string, 0, len(w.sets))
+	for name := range w.sets {
+		setNames = append(setNames, name)
+	}
+	sort.Strings(setNames)
+	meta := make([]byte, 0, 24)
+	meta = appendU64(meta, uint64(n))
+	meta = appendU64(meta, uint64(L))
+	meta = appendU64(meta, uint64(len(setNames)))
+	sf.writeSection(meta)
+	sf.writeSection(w.etype)
+	sf.writeSection(w.labelOff)
+	sf.writeSection(w.labelBlob)
+	dict := make([]byte, 0, len(w.intern.dict)*8)
+	for _, a := range w.intern.dict {
+		dict = appendU64(dict, uint64(a))
+	}
+	sf.writeSection(dict)
+	sf.writeSection(w.attrOff)
+	sf.writeSection(w.attrCodes)
+
+	sf.begin()
+	for _, name := range setNames {
+		col := w.sets[name]
+		payload := appendU64(nil, uint64(len(name)))
+		payload = append(payload, name...)
+		var total uint64
+		payload = appendU64(payload, 0)
+		for v := 0; v < n; v++ {
+			total += uint64(len(col[EntityID(v)]))
+			payload = appendU64(payload, total)
+		}
+		payload = appendU64(payload, total)
+		for v := 0; v < n; v++ {
+			for _, x := range col[EntityID(v)] {
+				payload = binary.LittleEndian.AppendUint32(payload, uint32(x))
+			}
+		}
+		sf.write(payload)
+	}
+	sf.end()
+
+	rowOff := make([]byte, 0, (n+1)*8)
+	enc := make([]byte, 0, 4096)
+	var rowIDs []EntityID
+	var rowWs []int32
+	for lt := 0; lt < L; lt++ {
+		s := w.spills[lt]
+		if err := s.w.flush(); err != nil {
+			return err
+		}
+		weighted := w.schema.LinkType(LinkTypeID(lt)).Weighted
+
+		nb := int(s.records*spillRecSize/bucketTargetBytes) + 1
+		width := (n + nb - 1) / nb
+		if width == 0 {
+			width = 1
+		}
+		fwdB, revB, err := routeSpill(s, nb, width)
+		if err != nil {
+			return err
+		}
+		for _, bs := range [2][]*spillFile{fwdB, revB} {
+			rowOff = rowOff[:0]
+			rowOff = appendU64(rowOff, 0)
+			var total uint64
+			sf.begin()
+			for b, bf := range bs {
+				if err := bf.w.flush(); err != nil {
+					return err
+				}
+				bf.w.f.Close()
+				recs, err := readBucket(bf.path)
+				if err != nil {
+					return err
+				}
+				os.Remove(bf.path)
+				sort.Slice(recs, func(i, j int) bool {
+					if recs[i].src != recs[j].src {
+						return recs[i].src < recs[j].src
+					}
+					return recs[i].dst < recs[j].dst
+				})
+				lo, hi := b*width, min((b+1)*width, n)
+				idx := 0
+				for v := lo; v < hi; v++ {
+					rowIDs, rowWs = rowIDs[:0], rowWs[:0]
+					for idx < len(recs) && recs[idx].src == int32(v) {
+						d := recs[idx].dst
+						sum := int64(recs[idx].w)
+						idx++
+						for idx < len(recs) && recs[idx].src == int32(v) && recs[idx].dst == d {
+							sum += int64(recs[idx].w)
+							idx++
+						}
+						if !weighted {
+							sum = 1
+						}
+						if sum > int64(maxInt32) {
+							return fmt.Errorf("hin: merged edge strength overflows int32 at entity %d", v)
+						}
+						rowIDs = append(rowIDs, EntityID(d))
+						rowWs = append(rowWs, int32(sum))
+					}
+					enc = appendAdjRow(enc[:0], rowIDs, rowWs, weighted)
+					total += uint64(len(enc))
+					sf.write(enc)
+					rowOff = appendU64(rowOff, total)
+				}
+			}
+			sf.end()
+			sf.writeSection(rowOff)
+		}
+	}
+	return sf.finish()
+}
+
+// routeSpill distributes one link type's spilled records into per-range
+// bucket files: forward keyed by source, reverse keyed by destination
+// with endpoints swapped. The spill file is consumed and removed.
+func routeSpill(s *spillFile, nb, width int) (fwd, rev []*spillFile, err error) {
+	mk := func(dir string, b int) (*spillFile, error) {
+		p := fmt.Sprintf("%s.%s.%d", s.path, dir, b)
+		f, err := os.Create(p)
+		if err != nil {
+			return nil, err
+		}
+		return &spillFile{path: p, w: &writerCounter{buf: make([]byte, 0, 1<<20), f: f}}, nil
+	}
+	cleanup := func(bs []*spillFile) {
+		for _, bf := range bs {
+			if bf != nil {
+				bf.w.f.Close()
+				os.Remove(bf.path)
+			}
+		}
+	}
+	fwd = make([]*spillFile, nb)
+	rev = make([]*spillFile, nb)
+	for b := 0; b < nb; b++ {
+		if fwd[b], err = mk("fwd", b); err == nil {
+			rev[b], err = mk("rev", b)
+		}
+		if err != nil {
+			cleanup(fwd)
+			cleanup(rev)
+			return nil, nil, err
+		}
+	}
+	in, err := os.Open(s.path)
+	if err != nil {
+		cleanup(fwd)
+		cleanup(rev)
+		return nil, nil, err
+	}
+	r := bufio.NewReaderSize(in, 1<<20)
+	var rec [spillRecSize]byte
+	var swapped [spillRecSize]byte
+	for i := int64(0); i < s.records; i++ {
+		if _, err := io.ReadFull(r, rec[:]); err != nil {
+			in.Close()
+			cleanup(fwd)
+			cleanup(rev)
+			return nil, nil, err
+		}
+		from := int(binary.LittleEndian.Uint32(rec[0:4]))
+		to := int(binary.LittleEndian.Uint32(rec[4:8]))
+		copy(swapped[0:4], rec[4:8])
+		copy(swapped[4:8], rec[0:4])
+		copy(swapped[8:12], rec[8:12])
+		if err := fwd[from/width].w.write(rec[:]); err == nil {
+			err = rev[to/width].w.write(swapped[:])
+		} else {
+			err = fmt.Errorf("hin: spill routing: %w", err)
+		}
+		if err != nil {
+			in.Close()
+			cleanup(fwd)
+			cleanup(rev)
+			return nil, nil, err
+		}
+	}
+	in.Close()
+	s.w.f.Close()
+	os.Remove(s.path)
+	return fwd, rev, nil
+}
+
+func readBucket(path string) ([]edgeRec, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw)%spillRecSize != 0 {
+		return nil, fmt.Errorf("hin: bucket file %s: %d bytes not a record multiple", path, len(raw))
+	}
+	recs := make([]edgeRec, len(raw)/spillRecSize)
+	for i := range recs {
+		p := raw[i*spillRecSize:]
+		recs[i] = edgeRec{
+			src: int32(binary.LittleEndian.Uint32(p[0:4])),
+			dst: int32(binary.LittleEndian.Uint32(p[4:8])),
+			w:   int32(binary.LittleEndian.Uint32(p[8:12])),
+		}
+	}
+	return recs, nil
+}

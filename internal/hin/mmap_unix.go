@@ -1,0 +1,23 @@
+//go:build unix
+
+package hin
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapFile maps the file read-only. The returned release closure unmaps;
+// it must be called exactly once (OpenCSRFile calls it on every error
+// path and from CSRFile.Close).
+func mmapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, nil, fmt.Errorf("mmap: %w", err)
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

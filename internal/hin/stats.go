@@ -14,7 +14,7 @@ import (
 // where m is the number of link types that allow self-loops. It returns an
 // error if the graph has fewer than two entities or any link type spans
 // different entity types.
-func Density(g *Graph) (float64, error) {
+func Density(g GraphBackend) (float64, error) {
 	n := int64(g.NumEntities())
 	if n < 2 {
 		return 0, fmt.Errorf("hin: density undefined for %d entities", n)
@@ -63,7 +63,7 @@ type DegreeStats struct {
 
 // OutDegreeStats computes degree statistics for link type lt over entities
 // of the link's source type only (other entities never carry such edges).
-func OutDegreeStats(g *Graph, lt LinkTypeID) DegreeStats {
+func OutDegreeStats(g GraphBackend, lt LinkTypeID) DegreeStats {
 	src := g.Schema().LinkType(lt).From
 	srcID, _ := g.Schema().EntityTypeID(src)
 	var degs []int
@@ -102,7 +102,7 @@ func OutDegreeStats(g *Graph, lt LinkTypeID) DegreeStats {
 // takes across entities of type t - the per-attribute cardinality C(A_j) of
 // Theorem 2 (and the "average cardinality of gender, yob, ..." statistics
 // in Section 6.1).
-func AttrCardinality(g *Graph, t EntityTypeID, i int) int {
+func AttrCardinality(g GraphBackend, t EntityTypeID, i int) int {
 	seen := make(map[int64]struct{})
 	for v := 0; v < g.NumEntities(); v++ {
 		if g.EntityType(EntityID(v)) != t {
@@ -116,7 +116,7 @@ func AttrCardinality(g *Graph, t EntityTypeID, i int) int {
 // SetSizeCardinality returns the number of distinct sizes of the named set
 // attribute across entities of type t (the paper uses the number of tags,
 // not their identities, since tag IDs are anonymized).
-func SetSizeCardinality(g *Graph, t EntityTypeID, name string) int {
+func SetSizeCardinality(g GraphBackend, t EntityTypeID, name string) int {
 	seen := make(map[int]struct{})
 	for v := 0; v < g.NumEntities(); v++ {
 		if g.EntityType(EntityID(v)) != t {
@@ -129,11 +129,14 @@ func SetSizeCardinality(g *Graph, t EntityTypeID, name string) int {
 
 // StrengthCardinality returns the number of distinct edge strengths of link
 // type lt - the homogeneous link cardinality C(L_i) of Theorem 2.
-func StrengthCardinality(g *Graph, lt LinkTypeID) int {
+func StrengthCardinality(g GraphBackend, lt LinkTypeID) int {
 	seen := make(map[int32]struct{})
-	_, ws := g.fwd[lt].off, g.fwd[lt].w
-	for _, w := range ws {
-		seen[w] = struct{}{}
+	buf := &EdgeBuf{}
+	for v := 0; v < g.NumEntities(); v++ {
+		_, ws := g.OutEdgesBuf(buf, lt, EntityID(v))
+		for _, w := range ws {
+			seen[w] = struct{}{}
+		}
 	}
 	return len(seen)
 }
@@ -142,10 +145,14 @@ func StrengthCardinality(g *Graph, lt LinkTypeID) int {
 // and its count. The re-configured DeHIN of Section 6.2 removes all links
 // carrying the network-wide majority strength to strip Complete Graph
 // Anonymity's fake edges. ok is false if the link type has no edges.
-func MajorityStrength(g *Graph, lt LinkTypeID) (w int32, count int64, ok bool) {
+func MajorityStrength(g GraphBackend, lt LinkTypeID) (w int32, count int64, ok bool) {
 	counts := make(map[int32]int64)
-	for _, x := range g.fwd[lt].w {
-		counts[x]++
+	buf := &EdgeBuf{}
+	for v := 0; v < g.NumEntities(); v++ {
+		_, ws := g.OutEdgesBuf(buf, lt, EntityID(v))
+		for _, x := range ws {
+			counts[x]++
+		}
 	}
 	for x, c := range counts {
 		if !ok || c > count || (c == count && x < w) {

@@ -19,8 +19,9 @@ import (
 //   - boxing a package-local concrete value into an interface;
 //   - append on slices allocated inside the function. Appending into a
 //     caller-supplied buffer (a parameter), a struct field (the pooled
-//     scratch pattern), or a slice derived from one (e.g. s.buf[:0]) is the
-//     approved idiom and stays legal.
+//     scratch pattern), a slice derived from one (e.g. s.buf[:0]), or a
+//     value whose name or type marks it as pooled ("scratch", "cursor",
+//     "edgebuf" - see pooledTokens) is the approved idiom and stays legal.
 //
 // The annotation is deliberately opt-in: the checks are strict heuristics,
 // meant for the handful of functions whose per-operation allocation count
@@ -309,8 +310,7 @@ rooted:
 	if !ok || w.params[v] || v.Parent() == w.p.Pkg.Scope() {
 		return
 	}
-	if strings.Contains(strings.ToLower(v.Name()), "scratch") ||
-		strings.Contains(strings.ToLower(typeName(v.Type())), "scratch") {
+	if pooledToken(v.Name()) || pooledToken(typeName(v.Type())) {
 		return
 	}
 	inits, known := w.inits[v]
@@ -323,6 +323,23 @@ rooted:
 		}
 	}
 	w.report(call, "append grows function-local slice %q allocated per call; append into a caller buffer or pooled scratch", v.Name())
+}
+
+// pooledTokens are the name/type substrings that mark a slice as pooled,
+// amortized memory: "scratch" (the query engine's per-goroutine frames),
+// "cursor" and "edgebuf" (the compact backend's adjacency decode buffers,
+// hin.EdgeBuf). Appending into these grows a high-water-mark buffer that
+// outlives the call, not a per-call allocation.
+var pooledTokens = [...]string{"scratch", "cursor", "edgebuf"}
+
+func pooledToken(s string) bool {
+	s = strings.ToLower(s)
+	for _, tok := range pooledTokens {
+		if strings.Contains(s, tok) {
+			return true
+		}
+	}
+	return false
 }
 
 // allocatingInit reports whether the initializer conjures fresh memory: a

@@ -105,6 +105,54 @@ func AppendAllowed(n int) []int {
 	return out
 }
 
+// edgeBuf mimics hin.EdgeBuf: a pooled adjacency decode cursor.
+type edgeBuf struct {
+	ids []int
+}
+
+// DecodePooled decodes into a pooled cursor: appends into the cursor's
+// field and into locals rebound to it are the approved compact-backend
+// idiom.
+//
+//hin:hot
+func DecodePooled(buf *edgeBuf, dat []int) []int {
+	ids := buf.ids[:0]
+	for _, d := range dat {
+		ids = append(ids, d)
+	}
+	buf.ids = ids
+	return ids
+}
+
+// DecodeNamedCursor appends into locals whose name or type carries a
+// pooled token ("edgeBuf" the edgebuf token, "cursor" the cursor token),
+// even though the analyzer cannot see where the values came from.
+//
+//hin:hot
+func DecodeNamedCursor(dat []int) int {
+	var buf edgeBuf
+	buf.ids = append(buf.ids, dat...)
+	cursor := decodeCursor(dat)
+	cursor = append(cursor, 1)
+	return len(buf.ids) + len(cursor)
+}
+
+// decodeCursor's name carries the cursor token: locals of this type are
+// trusted as pooled.
+type decodeCursor []int
+
+// DecodeUnpooled allocates a fresh decode buffer per query: exactly the
+// per-call allocation the compact backend's hot path must not make.
+//
+//hin:hot
+func DecodeUnpooled(dat []int) int {
+	dec := make([]int, 0, len(dat))
+	for _, d := range dat {
+		dec = append(dec, d) // want "append grows function-local slice .dec."
+	}
+	return len(dec)
+}
+
 // Unannotated is not checked: the hotpath analyzer is opt-in.
 func Unannotated() string {
 	return fmt.Sprintf("free %d", 1)

@@ -25,7 +25,7 @@ type Convergence struct {
 
 // ConvergenceProfile computes the profile. cfg.MaxDistance is the deepest
 // distance analyzed.
-func ConvergenceProfile(g *hin.Graph, cfg SignatureConfig) (*Convergence, error) {
+func ConvergenceProfile(g hin.GraphBackend, cfg SignatureConfig) (*Convergence, error) {
 	if cfg.MaxDistance < 0 {
 		return nil, fmt.Errorf("risk: negative MaxDistance")
 	}

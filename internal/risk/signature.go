@@ -38,7 +38,7 @@ type SignatureConfig struct {
 // weighted edges: exactly the equivalence induced by expanding "5-time-
 // mentionee's yob, 5-time-mentionee's gender, ..." feature vectors, without
 // materializing the exponential feature space.
-func Signatures(g *hin.Graph, cfg SignatureConfig) ([]uint64, error) {
+func Signatures(g hin.GraphBackend, cfg SignatureConfig) ([]uint64, error) {
 	if cfg.MaxDistance < 0 {
 		return nil, fmt.Errorf("risk: negative MaxDistance")
 	}
@@ -61,11 +61,12 @@ func Signatures(g *hin.Graph, cfg SignatureConfig) ([]uint64, error) {
 	}
 	next := make([]uint64, n)
 	pairs := make([]pair, 0, 64)
+	buf := &hin.EdgeBuf{}
 	for d := 1; d <= cfg.MaxDistance; d++ {
 		for v := 0; v < n; v++ {
 			h := hashUint64(newHash(), sig[v])
 			for _, lt := range cfg.LinkTypes {
-				tos, ws := g.OutEdges(lt, hin.EntityID(v))
+				tos, ws := g.OutEdgesBuf(buf, lt, hin.EntityID(v))
 				pairs = pairs[:0]
 				for i, to := range tos {
 					pairs = append(pairs, pair{w: ws[i], s: sig[to]})
@@ -96,7 +97,7 @@ type pair struct {
 
 // NetworkRisk computes the dataset privacy risk R(T) = C(T)/N of Theorem 1
 // over the attribute-metapath-combined values at the configured distance.
-func NetworkRisk(g *hin.Graph, cfg SignatureConfig) (float64, error) {
+func NetworkRisk(g hin.GraphBackend, cfg SignatureConfig) (float64, error) {
 	sigs, err := Signatures(g, cfg)
 	if err != nil {
 		return 0, err
@@ -105,7 +106,7 @@ func NetworkRisk(g *hin.Graph, cfg SignatureConfig) (float64, error) {
 }
 
 // NetworkCardinality computes C(T*_G) at the configured distance.
-func NetworkCardinality(g *hin.Graph, cfg SignatureConfig) (int, error) {
+func NetworkCardinality(g hin.GraphBackend, cfg SignatureConfig) (int, error) {
 	sigs, err := Signatures(g, cfg)
 	if err != nil {
 		return 0, err
