@@ -10,12 +10,12 @@ FUZZTIME ?= 30s
 #   BENCH_DIFF_TOL   allowed ns/op regression in percent (allocs/op growth
 #                    always fails); raise on noisy shared machines
 #   SKIP_BENCH_DIFF  set non-empty to skip the gate entirely
-BENCH_BASELINE ?= BENCH_5.json
+BENCH_BASELINE ?= BENCH_6.json
 BENCH_DIFF_MATCH ?= BenchmarkDeanonymizeSingle|BenchmarkDeanonymizeSingleCSR|BenchmarkDeanonymizeInstrumented|BenchmarkPaperscale
 BENCH_DIFF_TOL ?= 15
 BENCH_VERIFY_OUT ?= /tmp/dehin-bench-verify.json
 
-.PHONY: build test lint verify bench-diff fuzz bench benchdump
+.PHONY: build test lint verify race-par bench-diff fuzz bench benchdump
 
 build:
 	$(GO) build ./...
@@ -43,12 +43,25 @@ verify:
 	$(GO) vet -copylocks -loopclosure ./...
 	$(MAKE) lint
 	$(GO) test -race ./internal/experiments ./internal/tqq ./internal/obs ./internal/obs/trace
+	$(MAKE) race-par
 ifeq ($(strip $(SKIP_PAPERSCALE)),)
 	$(GO) test -run TestPaperscaleSmoke -count=1 .
 endif
 ifeq ($(strip $(SKIP_BENCH_DIFF)),)
 	$(MAKE) bench-diff
 endif
+
+# race-par exercises the deterministic parallel-sweep paths under the race
+# detector at GOMAXPROCS=2 - the smallest setting where workers actually
+# interleave (single-core boxes otherwise collapse every pool to serial).
+# The par primitives run in full; the heavier packages run only their
+# worker-count determinism / byte-identity / parallel-path tests so the
+# lane stays fast enough for every verify.
+race-par:
+	GOMAXPROCS=2 $(GO) test -race -count=1 ./internal/par
+	GOMAXPROCS=2 $(GO) test -race -count=1 \
+		-run 'Worker|Parallel|Sweep|Combine|Checksum' \
+		./internal/risk ./internal/hin ./internal/dehin
 
 # bench-diff re-measures the gated benchmarks and fails on a >BENCH_DIFF_TOL%
 # ns/op or any allocs/op regression against BENCH_BASELINE.
@@ -69,4 +82,4 @@ bench:
 
 # benchdump refreshes the committed benchmark snapshot (see BENCH_*.json).
 benchdump:
-	$(GO) run ./cmd/benchdump -pkg ./... -out BENCH_5.json
+	$(GO) run ./cmd/benchdump -pkg ./... -out BENCH_6.json

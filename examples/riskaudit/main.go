@@ -44,7 +44,8 @@ func main() {
 	}
 
 	// 1. Risk growth with utilized distance, against the Theorem 2
-	//    bounds.
+	//    bounds. One NetworkSweep yields risk, cardinality, and the
+	//    final signatures for every distance at once.
 	fmt.Println("risk growth with max utilized neighbor distance:")
 	entC := float64(hin.AttrCardinality(g, 0, tqq.AttrNumTags))
 	linkC := 1.0
@@ -53,19 +54,17 @@ func main() {
 			linkC *= float64(c)
 		}
 	}
+	sw, err := risk.NetworkSweep(g, sigCfg)
+	if err != nil {
+		fatal(err)
+	}
 	for d := 0; d <= 3; d++ {
-		c := sigCfg
-		c.MaxDistance = d
-		r, err := risk.NetworkRisk(g, c)
-		if err != nil {
-			fatal(err)
-		}
 		b, err := risk.CardinalityBounds(entC, linkC, d, n)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("  n=%d  measured risk %6.1f%%   Theorem-2 risk ceiling (lower bound) %6.1f%%\n",
-			d, r*100, risk.RiskCeiling(b.LowerLog, n)*100)
+			d, sw.Risk[d]*100, risk.RiskCeiling(b.LowerLog, n)*100)
 	}
 
 	// 2. Saturation: when does deeper matter no more?
@@ -79,12 +78,9 @@ func main() {
 	}
 
 	// 3. Per-user risk under three loss models (Definition 7's social
-	//    factor).
-	sigs, err := risk.Signatures(g, sigCfg)
-	if err != nil {
-		fatal(err)
-	}
-	unit := risk.DatasetRisk(sigs, nil)
+	//    factor). The sweep already computed the n=3 signatures.
+	sigs := sw.Sigs
+	unit := sw.Risk[3]
 
 	// Uniform loss in [0,1]: Lemma 1 says E[risk] = C/(2N).
 	rng := randx.New(9)
@@ -108,7 +104,7 @@ func main() {
 		}
 		return 0
 	})
-	card := risk.Cardinality(sigs)
+	card := sw.Cardinality[3]
 	fmt.Println("\ndataset risk under loss models (n=3):")
 	fmt.Printf("  unit loss (Theorem 1, C/N = %d/%d): %.1f%%\n", card, n, unit*100)
 	fmt.Printf("  uniform loss (Lemma 1 predicts C/2N = %.1f%%):  %.1f%%\n",

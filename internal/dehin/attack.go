@@ -138,7 +138,9 @@ func NewAttack(aux hin.GraphBackend, cfg Config) (*Attack, error) {
 		}
 		a.index = cfg.SharedIndex.idx
 	case cfg.UseIndex:
-		idx, err := buildProfileIndex(aux, cfg.Profile)
+		// The build runs on the same pool size the queries will; the
+		// index contents are identical at any parallelism.
+		idx, err := buildProfileIndex(aux, cfg.Profile, cfg.Parallelism)
 		if err != nil {
 			return nil, err
 		}
@@ -163,8 +165,10 @@ type Index struct {
 
 // NewIndex builds a candidate index for the given auxiliary graph and
 // profile specification, shareable across attacks via Config.SharedIndex.
+// The build is sharded across all cores; the result does not depend on
+// the core count.
 func NewIndex(aux hin.GraphBackend, spec ProfileSpec) (*Index, error) {
-	idx, err := buildProfileIndex(aux, spec)
+	idx, err := buildProfileIndex(aux, spec, 0)
 	if err != nil {
 		return nil, err
 	}

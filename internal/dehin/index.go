@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"github.com/hinpriv/dehin/internal/hin"
+	"github.com/hinpriv/dehin/internal/par"
 )
 
 // profileIndex buckets auxiliary entities by their exact-match attribute
@@ -30,13 +31,25 @@ type profileIndex struct {
 	buckets  map[string][]hin.EntityID // string-key buckets (packed == false)
 }
 
-func buildProfileIndex(aux hin.GraphBackend, spec ProfileSpec) (*profileIndex, error) {
-	return buildProfileIndexOpt(aux, spec, false)
+// indexShardRows is how many auxiliary entities one index-build task
+// buckets; boundaries depend only on the entity count, never the worker
+// count.
+const indexShardRows = 1 << 14
+
+func buildProfileIndex(aux hin.GraphBackend, spec ProfileSpec, workers int) (*profileIndex, error) {
+	return buildProfileIndexOpt(aux, spec, false, workers)
 }
 
 // buildProfileIndexOpt exists so tests and benchmarks can force the
 // string-key fallback on a spec the packed path would normally take.
-func buildProfileIndexOpt(aux hin.GraphBackend, spec ProfileSpec, forceString bool) (*profileIndex, error) {
+//
+// workers sizes the build pool (0 = GOMAXPROCS). The index is identical
+// at any count: each shard buckets a fixed entity range into a private
+// map (recording keys in first-occurrence order, so no merge step ranges
+// over a map), and shards merge in shard order - every bucket lists its
+// entities ascending, exactly as the serial scan appended them, which
+// also makes the subsequent unstable per-bucket sort deterministic.
+func buildProfileIndexOpt(aux hin.GraphBackend, spec ProfileSpec, forceString bool, workers int) (*profileIndex, error) {
 	if err := validateProfileSpec(aux.Schema(), spec); err != nil {
 		return nil, err
 	}
@@ -48,27 +61,93 @@ func buildProfileIndexOpt(aux hin.GraphBackend, spec ProfileSpec, forceString bo
 	if len(spec.GrowAttrs) > 0 {
 		idx.primary = spec.GrowAttrs[0]
 	}
+	n := aux.NumEntities()
+	shards := par.Shards(n, indexShardRows)
+	var keysP []uint64
+	var keysS []string
 	if !forceString && len(spec.ExactAttrs) <= 2 {
+		type packedShard struct {
+			keys     []uint64
+			m        map[uint64][]hin.EntityID
+			overflow bool
+		}
+		ps := make([]packedShard, shards)
+		par.Run(workers, shards, func(_, s int) {
+			lo, hi := par.Bounds(s, n, indexShardRows)
+			m := make(map[uint64][]hin.EntityID)
+			var keys []uint64
+			for v := lo; v < hi; v++ {
+				key, ok := packedProfileKey(aux, hin.EntityID(v), spec.ExactAttrs)
+				if !ok { // an attribute value outside int32: fall back wholesale
+					ps[s].overflow = true
+					return
+				}
+				b, seen := m[key]
+				if !seen {
+					keys = append(keys, key)
+				}
+				m[key] = append(b, hin.EntityID(v))
+			}
+			ps[s].keys, ps[s].m = keys, m
+		})
 		idx.packed = true
-		idx.bucketsP = make(map[uint64][]hin.EntityID)
-		for v := 0; v < aux.NumEntities(); v++ {
-			key, ok := packedProfileKey(aux, hin.EntityID(v), spec.ExactAttrs)
-			if !ok { // an attribute value outside int32: fall back wholesale
+		for s := range ps {
+			if ps[s].overflow {
 				idx.packed = false
-				idx.bucketsP = nil
 				break
 			}
-			idx.bucketsP[key] = append(idx.bucketsP[key], hin.EntityID(v))
+		}
+		if idx.packed {
+			idx.bucketsP = make(map[uint64][]hin.EntityID)
+			for s := range ps {
+				for _, k := range ps[s].keys {
+					b, seen := idx.bucketsP[k]
+					if !seen {
+						keysP = append(keysP, k)
+					}
+					idx.bucketsP[k] = append(b, ps[s].m[k]...)
+				}
+			}
 		}
 	}
 	if !idx.packed {
-		idx.buckets = make(map[string][]hin.EntityID)
-		for v := 0; v < aux.NumEntities(); v++ {
-			key, err := profileKey(aux, hin.EntityID(v), spec.ExactAttrs)
-			if err != nil {
-				return nil, err
+		type stringShard struct {
+			keys []string
+			m    map[string][]hin.EntityID
+			err  error
+		}
+		ss := make([]stringShard, shards)
+		var fe par.FirstErr
+		par.Run(workers, shards, func(_, s int) {
+			lo, hi := par.Bounds(s, n, indexShardRows)
+			m := make(map[string][]hin.EntityID)
+			var keys []string
+			for v := lo; v < hi; v++ {
+				key, err := profileKey(aux, hin.EntityID(v), spec.ExactAttrs)
+				if err != nil {
+					fe.Set(s, err)
+					return
+				}
+				b, seen := m[key]
+				if !seen {
+					keys = append(keys, key)
+				}
+				m[key] = append(b, hin.EntityID(v))
 			}
-			idx.buckets[key] = append(idx.buckets[key], hin.EntityID(v))
+			ss[s].keys, ss[s].m = keys, m
+		})
+		if err := fe.Err(); err != nil {
+			return nil, err
+		}
+		idx.buckets = make(map[string][]hin.EntityID)
+		for s := range ss {
+			for _, k := range ss[s].keys {
+				b, seen := idx.buckets[k]
+				if !seen {
+					keysS = append(keysS, k)
+				}
+				idx.buckets[k] = append(b, ss[s].m[k]...)
+			}
 		}
 	}
 	if idx.primary >= 0 {
@@ -77,11 +156,14 @@ func buildProfileIndexOpt(aux hin.GraphBackend, spec ProfileSpec, forceString bo
 				return aux.Attr(b[i], idx.primary) > aux.Attr(b[j], idx.primary)
 			})
 		}
-		for _, b := range idx.bucketsP {
-			sortBucket(b)
-		}
-		for _, b := range idx.buckets {
-			sortBucket(b)
+		if idx.packed {
+			par.Run(workers, len(keysP), func(_, i int) {
+				sortBucket(idx.bucketsP[keysP[i]])
+			})
+		} else {
+			par.Run(workers, len(keysS), func(_, i int) {
+				sortBucket(idx.buckets[keysS[i]])
+			})
 		}
 	}
 	return idx, nil

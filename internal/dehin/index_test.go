@@ -1,6 +1,8 @@
 package dehin
 
 import (
+	"runtime"
+	"slices"
 	"testing"
 
 	"github.com/hinpriv/dehin/internal/hin"
@@ -29,11 +31,11 @@ func buildIndexFixture(tb testing.TB, users int) (*tqq.Dataset, *tqq.Target) {
 func TestPackedAndStringIndexAgree(t *testing.T) {
 	d, tgt := buildIndexFixture(t, 600)
 	spec := TQQProfile()
-	packed, err := buildProfileIndexOpt(d.Graph, spec, false)
+	packed, err := buildProfileIndexOpt(d.Graph, spec, false, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	str, err := buildProfileIndexOpt(d.Graph, spec, true)
+	str, err := buildProfileIndexOpt(d.Graph, spec, true, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +72,7 @@ func TestPackedIndexOverflowFallsBack(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	idx, err := buildProfileIndex(aux, TQQProfile())
+	idx, err := buildProfileIndex(aux, TQQProfile(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +97,7 @@ func TestPackedIndexOverflowFallsBack(t *testing.T) {
 // since no in-range auxiliary value can equal it).
 func TestPackedIndexOverflowingTargetValue(t *testing.T) {
 	aux := buildAux(t)
-	idx, err := buildProfileIndex(aux, TQQProfile())
+	idx, err := buildProfileIndex(aux, TQQProfile(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,9 +115,55 @@ func TestPackedIndexOverflowingTargetValue(t *testing.T) {
 	}
 }
 
+// TestIndexBuildWorkerFingerprint pins the parallel build contract: at
+// every worker count the index is identical - same buckets, same entity
+// order within each bucket - on both the packed and string key paths.
+// The fixture spans several build shards so the merge really runs.
+func TestIndexBuildWorkerFingerprint(t *testing.T) {
+	s := tqq.TargetSchema()
+	rng := randx.New(77)
+	b := hin.NewBuilder(s)
+	n := 2*indexShardRows + 123
+	for i := 0; i < n; i++ {
+		b.AddEntity(0, "", int64(1900+rng.Intn(80)), int64(rng.Intn(2)), int64(rng.Intn(5000)), int64(rng.Intn(4)))
+	}
+	aux, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, forceString := range []bool{false, true} {
+		ref, err := buildProfileIndexOpt(aux, TQQProfile(), forceString, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4, runtime.NumCPU(), 0} {
+			got, err := buildProfileIndexOpt(aux, TQQProfile(), forceString, workers)
+			if err != nil {
+				t.Fatalf("forceString=%v workers=%d: %v", forceString, workers, err)
+			}
+			if got.packed != ref.packed {
+				t.Fatalf("forceString=%v workers=%d: packed=%v, want %v", forceString, workers, got.packed, ref.packed)
+			}
+			if len(got.bucketsP) != len(ref.bucketsP) || len(got.buckets) != len(ref.buckets) {
+				t.Fatalf("forceString=%v workers=%d: bucket count mismatch", forceString, workers)
+			}
+			for k, rb := range ref.bucketsP {
+				if !slices.Equal(got.bucketsP[k], rb) {
+					t.Fatalf("forceString=%v workers=%d: packed bucket %x differs", forceString, workers, k)
+				}
+			}
+			for k, rb := range ref.buckets {
+				if !slices.Equal(got.buckets[k], rb) {
+					t.Fatalf("forceString=%v workers=%d: string bucket %q differs", forceString, workers, k)
+				}
+			}
+		}
+	}
+}
+
 func benchmarkLookup(b *testing.B, forceString bool) {
 	d, tgt := buildIndexFixture(b, 5000)
-	idx, err := buildProfileIndexOpt(d.Graph, TQQProfile(), forceString)
+	idx, err := buildProfileIndexOpt(d.Graph, TQQProfile(), forceString, 1)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -156,6 +156,7 @@ func RunBottleneck(w *Workbench) (*BottleneckResult, error) {
 			MaxDistance: maxN,
 			LinkTypes:   lts,
 			EntityAttrs: []int{tqq.AttrNumTags},
+			Workers:     p.Workers,
 		})
 		if err != nil {
 			return nil, err

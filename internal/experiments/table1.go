@@ -51,23 +51,34 @@ func RunTable1(w *Workbench) (*Table1Result, error) {
 		Density:   p.Densities[di],
 		Distances: distances,
 	}
+	maxDist := 0
+	for _, n := range distances {
+		if n > maxDist {
+			maxDist = n
+		}
+	}
 	for _, s := range subsets {
 		res.Subsets = append(res.Subsets, s.Name)
 		row := make([]float64, len(distances))
-		for ni, n := range distances {
-			sum := 0.0
-			for _, rt := range targets {
-				r, err := risk.NetworkRisk(rt.Graph, risk.SignatureConfig{
-					MaxDistance: n,
-					LinkTypes:   s.Links,
-					EntityAttrs: []int{tqq.AttrNumTags},
-				})
-				if err != nil {
-					return nil, err
-				}
-				sum += r
+		// One sweep per target covers every distance column at once
+		// (risk.SweepResult risk values are bit-identical to the
+		// per-distance NetworkRisk calls this replaces).
+		for _, rt := range targets {
+			sw, err := risk.NetworkSweep(rt.Graph, risk.SignatureConfig{
+				MaxDistance: maxDist,
+				LinkTypes:   s.Links,
+				EntityAttrs: []int{tqq.AttrNumTags},
+				Workers:     p.Workers,
+			})
+			if err != nil {
+				return nil, err
 			}
-			row[ni] = sum / float64(len(targets))
+			for ni, n := range distances {
+				row[ni] += sw.Risk[n]
+			}
+		}
+		for ni := range row {
+			row[ni] /= float64(len(targets))
 		}
 		res.Risk = append(res.Risk, row)
 	}
@@ -76,6 +87,7 @@ func RunTable1(w *Workbench) (*Table1Result, error) {
 		r, err := risk.NetworkRisk(rt.Graph, risk.SignatureConfig{
 			MaxDistance: 0,
 			EntityAttrs: []int{tqq.AttrNumTags},
+			Workers:     p.Workers,
 		})
 		if err != nil {
 			return nil, err

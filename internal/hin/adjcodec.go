@@ -101,6 +101,51 @@ func decodeAdjRow(dat []byte, weighted bool, numEntities int, buf *EdgeBuf) ([]E
 	return ids, ws, nil
 }
 
+// validateAdjRow strict-checks one encoded row occupying exactly dat
+// without materializing destinations, returning the degree. It accepts
+// exactly the rows decodeAdjRow accepts and returns the same sentinel
+// errors — the loader's bulk validation path, which only needs
+// yes/no + degree, skips the EdgeBuf stores entirely.
+func validateAdjRow(dat []byte, weighted bool, numEntities int) (int, error) {
+	deg, p := binary.Uvarint(dat)
+	if p <= 0 {
+		return 0, errAdjTruncated
+	}
+	if deg > uint64(numEntities) {
+		return 0, errAdjDegree
+	}
+	prev := int64(-1)
+	for i := uint64(0); i < deg; i++ {
+		delta, n := binary.Uvarint(dat[p:])
+		if n <= 0 {
+			return 0, errAdjTruncated
+		}
+		p += n
+		if delta == 0 || delta > uint64(numEntities) {
+			return 0, errAdjOrder
+		}
+		to := prev + int64(delta)
+		if to >= int64(numEntities) {
+			return 0, errAdjRange
+		}
+		prev = to
+		if weighted {
+			uw, n := binary.Uvarint(dat[p:])
+			if n <= 0 {
+				return 0, errAdjTruncated
+			}
+			p += n
+			if uw == 0 || uw > uint64(maxInt32) {
+				return 0, errAdjWeight
+			}
+		}
+	}
+	if p != len(dat) {
+		return 0, errAdjTrailing
+	}
+	return int(deg), nil
+}
+
 // uvarintAt decodes a uvarint from dat starting at p, returning the value
 // and the position just past it. The caller guarantees a valid encoding
 // (loader-validated data); out-of-range p would panic via bounds checks

@@ -1,0 +1,81 @@
+package hin
+
+// CRC-32C combination: crc32Combine(crcA, crcB, lenB) computes the
+// checksum of A||B from the independent checksums of A and B, letting the
+// loader verify a file body in parallel chunks and fold the per-chunk
+// results back into the single header value. hash/crc32 exports no
+// combine, so this is the classic zlib construction: appending lenB zero
+// bytes to A multiplies A's CRC state by x^(8*lenB) in GF(2)[x]/poly,
+// and that linear operator is applied via repeated squaring of its
+// 32x32 bit matrix.
+//
+// The matrices act on the reflected (bit-reversed) representation that
+// hash/crc32 uses for Castagnoli, and the pre/post inversion in the
+// finalized checksums cancels under the xor, so the function composes
+// crc32.Checksum outputs directly.
+
+// castagnoliReflected is the reflected CRC-32C polynomial, matching the
+// table hash/crc32 builds from crc32.Castagnoli.
+const castagnoliReflected = 0x82f63b78
+
+// gf2MatrixTimes multiplies the 32x32 GF(2) matrix by a bit vector.
+func gf2MatrixTimes(mat *[32]uint32, vec uint32) uint32 {
+	var sum uint32
+	for i := 0; vec != 0; vec >>= 1 {
+		if vec&1 != 0 {
+			sum ^= mat[i]
+		}
+		i++
+	}
+	return sum
+}
+
+// gf2MatrixSquare sets square to mat*mat.
+func gf2MatrixSquare(square, mat *[32]uint32) {
+	for i := range square {
+		square[i] = gf2MatrixTimes(mat, mat[i])
+	}
+}
+
+// crc32Combine returns the CRC-32C of the concatenation A||B given
+// crcA = Checksum(A), crcB = Checksum(B) and lenB = len(B).
+func crc32Combine(crcA, crcB uint32, lenB int64) uint32 {
+	if lenB <= 0 {
+		return crcA
+	}
+	var even, odd [32]uint32
+
+	// odd = the operator for one zero bit: a right shift with the
+	// reflected polynomial folded in at the top.
+	odd[0] = castagnoliReflected
+	row := uint32(1)
+	for i := 1; i < 32; i++ {
+		odd[i] = row
+		row <<= 1
+	}
+	// even = operator for two zero bits, odd = for four.
+	gf2MatrixSquare(&even, &odd)
+	gf2MatrixSquare(&odd, &even)
+
+	// Apply the operator for 8*lenB zero bits by walking lenB's binary
+	// representation, squaring as we go (starting at one zero byte).
+	for {
+		gf2MatrixSquare(&even, &odd)
+		if lenB&1 != 0 {
+			crcA = gf2MatrixTimes(&even, crcA)
+		}
+		lenB >>= 1
+		if lenB == 0 {
+			break
+		}
+		gf2MatrixSquare(&odd, &even)
+		if lenB&1 != 0 {
+			crcA = gf2MatrixTimes(&odd, crcA)
+		}
+		lenB >>= 1
+		if lenB == 0 {
+			break
+		}
+	}
+	return crcA ^ crcB
+}

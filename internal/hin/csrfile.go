@@ -8,6 +8,8 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+
+	"github.com/hinpriv/dehin/internal/par"
 )
 
 // On-disk CSR graph format ("HINCSR"), version 1.
@@ -205,7 +207,18 @@ func marshalSchema(s *Schema) ([]byte, error) {
 // WriteCSRFile persists any backend as a version-1 CSR file. It streams
 // the adjacency sections row by row through one reused decode buffer;
 // only the O(n) offset columns are materialized in memory.
-func WriteCSRFile(path string, g GraphBackend) (err error) {
+func WriteCSRFile(path string, g GraphBackend) error {
+	return WriteCSRFileOpt(path, g, CSRFileOptions{Workers: 1})
+}
+
+// WriteCSRFileOpt is WriteCSRFile with the adjacency encoding - the
+// dominant cost - sharded across workers. Each shard encodes its row
+// range into a private buffer with its own edge cursor; buffers are then
+// written in shard order, so the file is byte-identical to the serial
+// writer at any worker count. The parallel path trades the serial
+// writer's O(1) adjacency buffering for holding one direction's encoded
+// bytes in memory; Workers <= 1 keeps the streaming behavior.
+func WriteCSRFileOpt(path string, g GraphBackend, opts CSRFileOptions) (err error) {
 	sf, err := newSectionFile(path)
 	if err != nil {
 		return err
@@ -336,8 +349,12 @@ func WriteCSRFile(path string, g GraphBackend) (err error) {
 	}
 	sf.end()
 
-	// Adjacency: per link type, fwd then rev, dat streamed row by row
-	// while the rowOff column accumulates in memory.
+	// Adjacency: per link type, fwd then rev. The serial path streams
+	// dat row by row while the rowOff column accumulates in memory; the
+	// parallel path encodes fixed-width row shards concurrently and
+	// concatenates them in shard order.
+	shards := par.Shards(n, csrAdjShardRows)
+	pool := par.Workers(opts.Workers, shards)
 	ebuf := &EdgeBuf{}
 	rowOff := make([]byte, 0, (n+1)*8)
 	enc := make([]byte, 0, 4096)
@@ -348,18 +365,49 @@ func WriteCSRFile(path string, g GraphBackend) (err error) {
 			rowOff = appendU64(rowOff, 0)
 			var total uint64
 			sf.begin()
-			for v := 0; v < n; v++ {
-				var tos []EntityID
-				var ws []int32
-				if dir == 0 {
-					tos, ws = g.OutEdgesBuf(ebuf, LinkTypeID(lt), EntityID(v))
-				} else {
-					tos, ws = g.InEdgesBuf(ebuf, LinkTypeID(lt), EntityID(v))
+			if pool <= 1 {
+				for v := 0; v < n; v++ {
+					var tos []EntityID
+					var ws []int32
+					if dir == 0 {
+						tos, ws = g.OutEdgesBuf(ebuf, LinkTypeID(lt), EntityID(v))
+					} else {
+						tos, ws = g.InEdgesBuf(ebuf, LinkTypeID(lt), EntityID(v))
+					}
+					enc = appendAdjRow(enc[:0], tos, ws, weighted)
+					total += uint64(len(enc))
+					sf.write(enc)
+					rowOff = appendU64(rowOff, total)
 				}
-				enc = appendAdjRow(enc[:0], tos, ws, weighted)
-				total += uint64(len(enc))
-				sf.write(enc)
-				rowOff = appendU64(rowOff, total)
+			} else {
+				encs := make([][]byte, shards)
+				ends := make([][]uint64, shards)
+				bufs := make([]EdgeBuf, pool)
+				par.Run(opts.Workers, shards, func(wk, sh int) {
+					lo, hi := par.Bounds(sh, n, csrAdjShardRows)
+					buf := make([]byte, 0, 4096)
+					rowEnds := make([]uint64, 0, hi-lo)
+					for v := lo; v < hi; v++ {
+						var tos []EntityID
+						var ws []int32
+						if dir == 0 {
+							tos, ws = g.OutEdgesBuf(&bufs[wk], LinkTypeID(lt), EntityID(v))
+						} else {
+							tos, ws = g.InEdgesBuf(&bufs[wk], LinkTypeID(lt), EntityID(v))
+						}
+						buf = appendAdjRow(buf, tos, ws, weighted)
+						rowEnds = append(rowEnds, uint64(len(buf)))
+					}
+					encs[sh], ends[sh] = buf, rowEnds
+				})
+				for sh := range encs {
+					sf.write(encs[sh])
+					for _, e := range ends[sh] {
+						rowOff = appendU64(rowOff, total+e)
+					}
+					total += uint64(len(encs[sh]))
+					encs[sh] = nil
+				}
 			}
 			sf.end()
 			sf.writeSection(rowOff)
@@ -409,12 +457,29 @@ func (c *sectionCursor) next(name string) ([]byte, error) {
 	return payload, nil
 }
 
+// CSRFileOptions tunes OpenCSRFileOpt.
+type CSRFileOptions struct {
+	// Workers sizes the validation worker pool (0 = GOMAXPROCS). The
+	// result — the graph and, for a corrupt file, which error is
+	// reported — is identical at any count.
+	Workers int
+}
+
 // OpenCSRFile maps path and returns the validated graph. On unix the file
 // is mmap'd read-only (the adjacency and label columns alias the mapping);
 // elsewhere it is read into memory. Every failure mode - short file, bad
 // magic, version skew, checksum mismatch, malformed section - returns a
 // descriptive error with the mapping already released.
 func OpenCSRFile(path string) (*CSRFile, error) {
+	return OpenCSRFileOpt(path, CSRFileOptions{})
+}
+
+// OpenCSRFileOpt is OpenCSRFile with the checksum and per-section
+// validation sweeps spread over a worker pool: the body CRC is folded
+// from fixed-size chunks via crc32Combine, and the offset-column and
+// adjacency-row scans run as sharded tasks whose first error (by task
+// index, i.e. serial validation order) is the one reported.
+func OpenCSRFileOpt(path string, opts CSRFileOptions) (*CSRFile, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -434,7 +499,7 @@ func OpenCSRFile(path string) (*CSRFile, error) {
 	if err != nil {
 		return nil, fmt.Errorf("hin: csr file %s: %w", path, err)
 	}
-	g, err := parseCSRFile(data)
+	g, err := parseCSRFile(data, opts.Workers)
 	if err != nil {
 		unmap()
 		return nil, fmt.Errorf("hin: csr file %s: %w", path, err)
@@ -442,7 +507,37 @@ func OpenCSRFile(path string) (*CSRFile, error) {
 	return &CSRFile{g: g, unmap: unmap}, nil
 }
 
-func parseCSRFile(data []byte) (*CSRGraph, error) {
+// csrChecksumChunk is the fixed chunk width of the parallel body CRC.
+// Boundaries depend only on the body length, so the folded result equals
+// the one-pass checksum at any worker count.
+const csrChecksumChunk = 4 << 20
+
+// csrChecksum computes the CRC-32C of body, splitting it into fixed
+// chunks across workers and folding the per-chunk checksums in chunk
+// order with crc32Combine.
+func csrChecksum(body []byte, workers int) uint32 {
+	chunks := par.Shards(len(body), csrChecksumChunk)
+	if chunks <= 1 || par.Workers(workers, chunks) <= 1 {
+		return crc32.Checksum(body, castagnoli)
+	}
+	crcs := make([]uint32, chunks)
+	par.Run(workers, chunks, func(_, i int) {
+		lo, hi := par.Bounds(i, len(body), csrChecksumChunk)
+		crcs[i] = crc32.Checksum(body[lo:hi], castagnoli)
+	})
+	crc := crcs[0]
+	for i := 1; i < chunks; i++ {
+		lo, hi := par.Bounds(i, len(body), csrChecksumChunk)
+		crc = crc32Combine(crc, crcs[i], int64(hi-lo))
+	}
+	return crc
+}
+
+// csrAdjShardRows is how many adjacency rows one validation task strict-
+// checks; boundaries depend only on the entity count.
+const csrAdjShardRows = 1 << 16
+
+func parseCSRFile(data []byte, workers int) (*CSRGraph, error) {
 	if string(data[0:8]) != csrMagic {
 		return nil, fmt.Errorf("bad magic %q, want %q", data[0:8], csrMagic)
 	}
@@ -453,7 +548,7 @@ func parseCSRFile(data []byte) (*CSRGraph, error) {
 		return nil, fmt.Errorf("header records %d bytes but file has %d (truncated or padded)", sz, len(data))
 	}
 	want := binary.LittleEndian.Uint32(data[12:16])
-	if got := crc32.Checksum(data[csrHeaderSize:], castagnoli); got != want {
+	if got := csrChecksum(data[csrHeaderSize:], workers); got != want {
 		return nil, fmt.Errorf("checksum mismatch: header %08x, body %08x", want, got)
 	}
 
@@ -489,6 +584,15 @@ func parseCSRFile(data []byte) (*CSRGraph, error) {
 		return nil, fmt.Errorf("meta section: %d link types but schema declares %d", ltCount, schema.NumLinkTypes())
 	}
 
+	// The walk below slices every section, runs the cheap structural
+	// checks inline, and defers the O(bytes) scans to tasks. Tasks are
+	// appended in serial validation order and the lowest-index error
+	// wins, so a corrupt file reports the same error at any worker
+	// count. Checks a later stage dereferences through (etype bytes
+	// index the schema, rowOff columns bound the row slices) stay
+	// inline so the tasks can't fault on garbage.
+	var tasks []func() error
+
 	g := &CSRGraph{schema: schema, n: n}
 	if g.etype, err = cur.next("etype"); err != nil {
 		return nil, err
@@ -508,9 +612,9 @@ func parseCSRFile(data []byte) (*CSRGraph, error) {
 	if g.labelBlob, err = cur.next("labelBlob"); err != nil {
 		return nil, err
 	}
-	if err := checkOffsets("labelOff", g.labelOff, n, uint64(len(g.labelBlob))); err != nil {
-		return nil, err
-	}
+	tasks = append(tasks, func() error {
+		return checkOffsets("labelOff", g.labelOff, n, uint64(len(g.labelBlob)))
+	})
 
 	dict, err := cur.next("attrDict")
 	if err != nil {
@@ -532,21 +636,30 @@ func parseCSRFile(data []byte) (*CSRGraph, error) {
 	if len(g.attrCodes)%4 != 0 {
 		return nil, fmt.Errorf("attrCodes section: length %d not a multiple of 4", len(g.attrCodes))
 	}
-	if err := checkOffsets("attrOff", g.attrOff, n, uint64(len(g.attrCodes)/4)); err != nil {
-		return nil, err
-	}
-	for i := 0; i < len(g.attrCodes)/4; i++ {
-		if code := binary.LittleEndian.Uint32(g.attrCodes[i*4:]); int(code) >= len(g.attrDict) {
-			return nil, fmt.Errorf("attrCodes section: code %d at index %d exceeds dictionary size %d", code, i, len(g.attrDict))
+	tasks = append(tasks, func() error {
+		return checkOffsets("attrOff", g.attrOff, n, uint64(len(g.attrCodes)/4))
+	})
+	tasks = append(tasks, func() error {
+		for i := 0; i < len(g.attrCodes)/4; i++ {
+			if code := binary.LittleEndian.Uint32(g.attrCodes[i*4:]); int(code) >= len(g.attrDict) {
+				return fmt.Errorf("attrCodes section: code %d at index %d exceeds dictionary size %d", code, i, len(g.attrDict))
+			}
 		}
-	}
-	for v := 0; v < n; v++ {
-		want := len(schema.EntityType(EntityTypeID(g.etype[v])).Attrs)
-		if got := g.NumAttrs(EntityID(v)); got != want {
-			return nil, fmt.Errorf("attrOff section: entity %d has %d attrs, type %q declares %d",
-				v, got, schema.EntityType(EntityTypeID(g.etype[v])).Name, want)
+		return nil
+	})
+	tasks = append(tasks, func() error {
+		if len(g.attrOff) != (n+1)*8 {
+			return nil // the checkOffsets task reports the length
 		}
-	}
+		for v := 0; v < n; v++ {
+			want := len(schema.EntityType(EntityTypeID(g.etype[v])).Attrs)
+			if got := g.NumAttrs(EntityID(v)); got != want {
+				return fmt.Errorf("attrOff section: entity %d has %d attrs, type %q declares %d",
+					v, got, schema.EntityType(EntityTypeID(g.etype[v])).Name, want)
+			}
+		}
+		return nil
+	})
 
 	setsPayload, err := cur.next("sets")
 	if err != nil {
@@ -556,28 +669,90 @@ func parseCSRFile(data []byte) (*CSRGraph, error) {
 		return nil, err
 	}
 
+	// Adjacency: slice and offset-check every direction inline (the row
+	// tasks slice dat through rowOff, so the column must be proven
+	// sound first), then shard the strict row validation.
 	L := schema.NumLinkTypes()
 	g.fwd = make([]csrAdj, L)
 	g.rev = make([]csrAdj, L)
-	buf := &EdgeBuf{}
+	type adjPending struct {
+		adj    csrAdj
+		counts []int64
+	}
+	pending := make([]adjPending, 0, 2*L)
 	for lt := 0; lt < L; lt++ {
 		weighted := schema.LinkType(LinkTypeID(lt)).Weighted
-		name := schema.LinkType(LinkTypeID(lt)).Name
-		fwd, err := parseCSRAdj(cur, fmt.Sprintf("link %q fwd", name), n, weighted, buf)
-		if err != nil {
-			return nil, err
+		for dir := 0; dir < 2; dir++ {
+			name := fmt.Sprintf("link %q fwd", schema.LinkType(LinkTypeID(lt)).Name)
+			if dir == 1 {
+				name = fmt.Sprintf("link %q rev", schema.LinkType(LinkTypeID(lt)).Name)
+			}
+			dat, err := cur.next(name + " dat")
+			if err != nil {
+				return nil, err
+			}
+			rowOff, err := cur.next(name + " rowOff")
+			if err != nil {
+				return nil, err
+			}
+			if err := checkOffsets(name+" rowOff", rowOff, n, uint64(len(dat))); err != nil {
+				return nil, err
+			}
+			p := adjPending{
+				adj:    csrAdj{rowOff: rowOff, dat: dat, weighted: weighted},
+				counts: make([]int64, par.Shards(n, csrAdjShardRows)),
+			}
+			pending = append(pending, p)
+			slot := len(pending) - 1
+			for s := range p.counts {
+				s := s
+				tasks = append(tasks, func() error {
+					lo, hi := par.Bounds(s, n, csrAdjShardRows)
+					c := &pending[slot].adj
+					var edges int64
+					for v := lo; v < hi; v++ {
+						deg, err := validateAdjRow(c.row(EntityID(v)), weighted, n)
+						if err != nil {
+							return fmt.Errorf("%s row %d: %w", name, v, err)
+						}
+						edges += int64(deg)
+					}
+					pending[slot].counts[s] = edges
+					return nil
+				})
+			}
 		}
-		rev, err := parseCSRAdj(cur, fmt.Sprintf("link %q rev", name), n, weighted, buf)
-		if err != nil {
-			return nil, err
-		}
-		if fwd.count != rev.count {
-			return nil, fmt.Errorf("link %q: forward adjacency has %d edges, reverse %d", name, fwd.count, rev.count)
-		}
-		g.fwd[lt], g.rev[lt] = fwd, rev
 	}
-	if cur.pos != len(data) {
-		return nil, fmt.Errorf("%d trailing bytes after last section", len(data)-cur.pos)
+	trailing := len(data) - cur.pos
+
+	var fe par.FirstErr
+	par.Run(workers, len(tasks), func(_, i int) {
+		fe.Set(i, tasks[i]())
+	})
+	if err := fe.Err(); err != nil {
+		return nil, err
+	}
+
+	for i := range pending {
+		var total int64
+		for _, c := range pending[i].counts {
+			total += c
+		}
+		pending[i].adj.count = total
+		if i%2 == 0 {
+			g.fwd[i/2] = pending[i].adj
+		} else {
+			g.rev[i/2] = pending[i].adj
+		}
+	}
+	for lt := 0; lt < L; lt++ {
+		if g.fwd[lt].count != g.rev[lt].count {
+			name := schema.LinkType(LinkTypeID(lt)).Name
+			return nil, fmt.Errorf("link %q: forward adjacency has %d edges, reverse %d", name, g.fwd[lt].count, g.rev[lt].count)
+		}
+	}
+	if trailing != 0 {
+		return nil, fmt.Errorf("%d trailing bytes after last section", trailing)
 	}
 	return g, nil
 }
@@ -688,29 +863,4 @@ func parseSetColumns(payload []byte, schema *Schema, etype []byte, n, count int)
 		return nil, fmt.Errorf("sets section: %d trailing bytes", len(payload)-pos)
 	}
 	return sets, nil
-}
-
-// parseCSRAdj reads one direction's dat + rowOff sections and strict-
-// decodes every row, so the hot path may use the trusting decoder.
-func parseCSRAdj(cur *sectionCursor, name string, n int, weighted bool, buf *EdgeBuf) (csrAdj, error) {
-	dat, err := cur.next(name + " dat")
-	if err != nil {
-		return csrAdj{}, err
-	}
-	rowOff, err := cur.next(name + " rowOff")
-	if err != nil {
-		return csrAdj{}, err
-	}
-	if err := checkOffsets(name+" rowOff", rowOff, n, uint64(len(dat))); err != nil {
-		return csrAdj{}, err
-	}
-	c := csrAdj{rowOff: rowOff, dat: dat, weighted: weighted}
-	for v := 0; v < n; v++ {
-		ids, _, err := decodeAdjRow(c.row(EntityID(v)), weighted, n, buf)
-		if err != nil {
-			return csrAdj{}, fmt.Errorf("%s row %d: %w", name, v, err)
-		}
-		c.count += int64(len(ids))
-	}
-	return c, nil
 }

@@ -7,6 +7,8 @@ import (
 	"io"
 	"os"
 	"sort"
+
+	"github.com/hinpriv/dehin/internal/par"
 )
 
 // CSRWriter streams a graph straight to the on-disk CSR format without
@@ -23,6 +25,12 @@ import (
 type CSRWriter struct {
 	schema *Schema
 	path   string
+
+	// Workers sizes Finalize's bucket sort/encode pool (0 = GOMAXPROCS,
+	// 1 = serial). The output file is byte-identical at any count; the
+	// parallel path holds one direction's encoded adjacency in memory
+	// instead of streaming bucket by bucket.
+	Workers int
 
 	etype     []byte
 	labelOff  []byte
@@ -45,10 +53,12 @@ type spillFile struct {
 	records int64
 }
 
-const (
-	spillRecSize      = 12
-	bucketTargetBytes = 48 << 20
-)
+const spillRecSize = 12
+
+// bucketTargetBytes caps one sort bucket's record bytes. A variable so
+// tests can shrink it to force multi-bucket Finalize runs on small
+// graphs; the output is byte-identical at any bucket count.
+var bucketTargetBytes = int64(48 << 20)
 
 // NewCSRWriter opens the temp spill files next to path and returns a
 // writer for the given schema.
@@ -248,9 +258,6 @@ func (w *CSRWriter) Finalize() (err error) {
 	sf.end()
 
 	rowOff := make([]byte, 0, (n+1)*8)
-	enc := make([]byte, 0, 4096)
-	var rowIDs []EntityID
-	var rowWs []int32
 	for lt := 0; lt < L; lt++ {
 		s := w.spills[lt]
 		if err := s.w.flush(); err != nil {
@@ -272,47 +279,46 @@ func (w *CSRWriter) Finalize() (err error) {
 			rowOff = appendU64(rowOff, 0)
 			var total uint64
 			sf.begin()
-			for b, bf := range bs {
-				if err := bf.w.flush(); err != nil {
-					return err
-				}
-				bf.w.f.Close()
-				recs, err := readBucket(bf.path)
-				if err != nil {
-					return err
-				}
-				os.Remove(bf.path)
-				sort.Slice(recs, func(i, j int) bool {
-					if recs[i].src != recs[j].src {
-						return recs[i].src < recs[j].src
+			if par.Workers(w.Workers, len(bs)) <= 1 {
+				// Serial: one bucket in memory at a time, streamed out
+				// as soon as it is encoded.
+				for b, bf := range bs {
+					lo, hi := b*width, min((b+1)*width, n)
+					enc, ends, err := encodeBucket(bf, weighted, lo, hi)
+					if err != nil {
+						return err
 					}
-					return recs[i].dst < recs[j].dst
-				})
-				lo, hi := b*width, min((b+1)*width, n)
-				idx := 0
-				for v := lo; v < hi; v++ {
-					rowIDs, rowWs = rowIDs[:0], rowWs[:0]
-					for idx < len(recs) && recs[idx].src == int32(v) {
-						d := recs[idx].dst
-						sum := int64(recs[idx].w)
-						idx++
-						for idx < len(recs) && recs[idx].src == int32(v) && recs[idx].dst == d {
-							sum += int64(recs[idx].w)
-							idx++
-						}
-						if !weighted {
-							sum = 1
-						}
-						if sum > int64(maxInt32) {
-							return fmt.Errorf("hin: merged edge strength overflows int32 at entity %d", v)
-						}
-						rowIDs = append(rowIDs, EntityID(d))
-						rowWs = append(rowWs, int32(sum))
-					}
-					enc = appendAdjRow(enc[:0], rowIDs, rowWs, weighted)
-					total += uint64(len(enc))
 					sf.write(enc)
-					rowOff = appendU64(rowOff, total)
+					for _, e := range ends {
+						rowOff = appendU64(rowOff, total+e)
+					}
+					total += uint64(len(enc))
+				}
+			} else {
+				// Parallel: buckets sort/merge/encode concurrently
+				// (each owns its slice of the entity range), then
+				// concatenate in bucket order - byte-identical to the
+				// serial path. The lowest bucket index's error wins,
+				// matching the entity the serial scan would hit first.
+				encs := make([][]byte, len(bs))
+				ends := make([][]uint64, len(bs))
+				var fe par.FirstErr
+				par.Run(w.Workers, len(bs), func(_, b int) {
+					lo, hi := b*width, min((b+1)*width, n)
+					e, re, err := encodeBucket(bs[b], weighted, lo, hi)
+					encs[b], ends[b] = e, re
+					fe.Set(b, err)
+				})
+				if err := fe.Err(); err != nil {
+					return err
+				}
+				for b := range encs {
+					sf.write(encs[b])
+					for _, e := range ends[b] {
+						rowOff = appendU64(rowOff, total+e)
+					}
+					total += uint64(len(encs[b]))
+					encs[b] = nil
 				}
 			}
 			sf.end()
@@ -320,6 +326,58 @@ func (w *CSRWriter) Finalize() (err error) {
 		}
 	}
 	return sf.finish()
+}
+
+// encodeBucket drains one routed bucket file: read, sort by (src, dst),
+// merge duplicate edges, and delta/varint-encode the rows of the bucket's
+// entity range [lo, hi). Returns the encoded bytes and the cumulative
+// end offset of every row within them. The bucket file is consumed and
+// removed; buckets are independent, so Finalize may run several
+// concurrently.
+func encodeBucket(bf *spillFile, weighted bool, lo, hi int) ([]byte, []uint64, error) {
+	if err := bf.w.flush(); err != nil {
+		return nil, nil, err
+	}
+	bf.w.f.Close()
+	recs, err := readBucket(bf.path)
+	if err != nil {
+		return nil, nil, err
+	}
+	os.Remove(bf.path)
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].src != recs[j].src {
+			return recs[i].src < recs[j].src
+		}
+		return recs[i].dst < recs[j].dst
+	})
+	enc := make([]byte, 0, len(recs)*2+(hi-lo))
+	ends := make([]uint64, 0, hi-lo)
+	var rowIDs []EntityID
+	var rowWs []int32
+	idx := 0
+	for v := lo; v < hi; v++ {
+		rowIDs, rowWs = rowIDs[:0], rowWs[:0]
+		for idx < len(recs) && recs[idx].src == int32(v) {
+			d := recs[idx].dst
+			sum := int64(recs[idx].w)
+			idx++
+			for idx < len(recs) && recs[idx].src == int32(v) && recs[idx].dst == d {
+				sum += int64(recs[idx].w)
+				idx++
+			}
+			if !weighted {
+				sum = 1
+			}
+			if sum > int64(maxInt32) {
+				return nil, nil, fmt.Errorf("hin: merged edge strength overflows int32 at entity %d", v)
+			}
+			rowIDs = append(rowIDs, EntityID(d))
+			rowWs = append(rowWs, int32(sum))
+		}
+		enc = appendAdjRow(enc, rowIDs, rowWs, weighted)
+		ends = append(ends, uint64(len(enc)))
+	}
+	return enc, ends, nil
 }
 
 // routeSpill distributes one link type's spilled records into per-range

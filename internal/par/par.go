@@ -1,0 +1,162 @@
+// Package par is the repository's shared deterministic parallel-sweep
+// layer: a bounded worker pool plus fixed-width sharding helpers used by
+// every multi-core hot path (tqq generation, risk signature refinement,
+// profile-index construction, CSR file I/O).
+//
+// The contract, established by the sharded tqq.Generate recipe (PR 2):
+//
+//   - Work is pre-split into independent tasks (usually fixed-width
+//     entity shards). Each task writes only positions it owns, so the
+//     merged result is positionally determined and byte-identical for
+//     every worker count, including Workers=1 and any GOMAXPROCS.
+//   - The pool is bounded: Workers(workers, n) workers, each pulling the
+//     next task index from one atomic counter. No channels, no per-task
+//     goroutines, no allocation beyond the pool itself.
+//   - Per-worker scratch: tasks receive their worker index so callers can
+//     give each worker a private scratch struct (buffers, edge cursors,
+//     hash maps) that is reused across the tasks that worker executes.
+//   - Observability rides along, not inside: Lanes allocates one tracer
+//     track per worker so spans of concurrent tasks land on stable
+//     timeline rows; counters/histograms are the caller's obs handles.
+//
+// Determinism is the point. Anything order-dependent (first error wins,
+// merged map contents, concatenated output) must be decided by task
+// index, never by completion order.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/hinpriv/dehin/internal/obs/trace"
+)
+
+// Workers resolves the effective worker count a pool will use for n
+// tasks: non-positive means GOMAXPROCS, never more workers than tasks,
+// at least 1.
+func Workers(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// Run executes n independent tasks on a bounded pool. task(worker, i) is
+// called exactly once for every i in [0, n), with worker in
+// [0, Workers(workers, n)). Tasks are claimed from an atomic counter, so
+// assignment of tasks to workers is nondeterministic — results must be
+// positionally owned (task i writes only slots belonging to i).
+//
+// With an effective pool of one, tasks run inline in index order on the
+// calling goroutine: the serial path costs no goroutine and is the
+// reference order for determinism tests.
+func Run(workers, n int, task func(worker, i int)) {
+	workers = Workers(workers, n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			task(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				task(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Shards returns the number of fixed-width shards covering n items:
+// ceil(n / width). Zero items means zero shards.
+func Shards(n, width int) int {
+	if width < 1 {
+		panic("par: non-positive shard width")
+	}
+	return (n + width - 1) / width
+}
+
+// Bounds returns the half-open item range [lo, hi) of shard s for n items
+// at the given width.
+func Bounds(s, n, width int) (lo, hi int) {
+	lo = s * width
+	hi = lo + width
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// Sweep splits n items into fixed-width shards and runs
+// fn(worker, lo, hi) over each half-open shard range on a Run pool.
+// Shard boundaries depend only on (n, width), never on the worker count,
+// which is what makes sweep output byte-identical at any parallelism.
+func Sweep(workers, n, width int, fn func(worker, lo, hi int)) {
+	shards := Shards(n, width)
+	Run(workers, shards, func(w, s int) {
+		lo, hi := Bounds(s, n, width)
+		fn(w, lo, hi)
+	})
+}
+
+// Lanes allocates one tracer track per pool worker, so the spans of
+// concurrently running tasks land on stable timeline lanes (Perfetto
+// renders one row per track and expects same-row spans to nest). Returns
+// nil when tracing is off — the single branch the disabled path pays.
+func Lanes(tr *trace.Tracer, workers, n int) []trace.Track {
+	if tr == nil {
+		return nil
+	}
+	lanes := make([]trace.Track, Workers(workers, n))
+	for i := range lanes {
+		lanes[i] = tr.NewTrack()
+	}
+	return lanes
+}
+
+// FirstErr collects the winning error of a parallel sweep: the error of
+// the lowest task index, matching what the serial loop would have
+// returned first. The zero value is ready to use and goroutine-safe.
+type FirstErr struct {
+	mu   sync.Mutex
+	idx  int
+	err  error
+	some bool
+}
+
+// Set records err as the outcome of task i. Nil errors are ignored. The
+// retained error is the one with the smallest i, regardless of the order
+// Set is called in.
+func (f *FirstErr) Set(i int, err error) {
+	if err == nil {
+		return
+	}
+	f.mu.Lock()
+	if !f.some || i < f.idx {
+		f.idx, f.err, f.some = i, err, true
+	}
+	f.mu.Unlock()
+}
+
+// Err returns the retained error, or nil. Call after the sweep finished.
+func (f *FirstErr) Err() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.err
+}

@@ -1,0 +1,175 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"github.com/hinpriv/dehin/internal/obs/trace"
+)
+
+func TestWorkers(t *testing.T) {
+	cases := []struct {
+		workers, n, want int
+	}{
+		{0, 100, runtime.GOMAXPROCS(0)},
+		{-3, 100, runtime.GOMAXPROCS(0)},
+		{4, 100, 4},
+		{8, 3, 3},
+		{1, 0, 1},
+		{0, 0, 1},
+	}
+	for _, c := range cases {
+		got := Workers(c.workers, c.n)
+		want := c.want
+		if want > c.n && c.n >= 1 {
+			want = c.n
+		}
+		if got != want {
+			t.Errorf("Workers(%d,%d) = %d, want %d", c.workers, c.n, got, want)
+		}
+	}
+}
+
+func TestRunCoversEveryTaskOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 0} {
+		n := 1000
+		hits := make([]atomic.Int32, n)
+		Run(workers, n, func(w, i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestRunSerialOrder(t *testing.T) {
+	var order []int
+	Run(1, 5, func(w, i int) {
+		if w != 0 {
+			t.Fatalf("serial path used worker %d", w)
+		}
+		order = append(order, i)
+	})
+	if fmt.Sprint(order) != "[0 1 2 3 4]" {
+		t.Fatalf("serial order = %v", order)
+	}
+}
+
+func TestRunWorkerIndexBounded(t *testing.T) {
+	workers := 3
+	var bad atomic.Int32
+	Run(workers, 500, func(w, i int) {
+		if w < 0 || w >= workers {
+			bad.Add(1)
+		}
+	})
+	if bad.Load() != 0 {
+		t.Fatal("worker index out of range")
+	}
+}
+
+func TestShardsAndBounds(t *testing.T) {
+	if got := Shards(0, 16); got != 0 {
+		t.Fatalf("Shards(0,16) = %d", got)
+	}
+	if got := Shards(16, 16); got != 1 {
+		t.Fatalf("Shards(16,16) = %d", got)
+	}
+	if got := Shards(17, 16); got != 2 {
+		t.Fatalf("Shards(17,16) = %d", got)
+	}
+	lo, hi := Bounds(1, 17, 16)
+	if lo != 16 || hi != 17 {
+		t.Fatalf("Bounds(1,17,16) = [%d,%d)", lo, hi)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Shards accepted zero width")
+		}
+	}()
+	Shards(10, 0)
+}
+
+// Sweep must cover [0, n) exactly once with identical shard boundaries at
+// every worker count.
+func TestSweepDeterministicCoverage(t *testing.T) {
+	n, width := 1003, 64
+	var want []string
+	Sweep(1, n, width, func(w, lo, hi int) {
+		want = append(want, fmt.Sprintf("%d:%d", lo, hi))
+	})
+	for _, workers := range []int{2, 4, 0} {
+		hits := make([]atomic.Int32, n)
+		var shardSet [64]atomic.Int32
+		Sweep(workers, n, width, func(w, lo, hi int) {
+			shardSet[lo/width].Add(1)
+			for i := lo; i < hi; i++ {
+				hits[i].Add(1)
+			}
+		})
+		for i := range hits {
+			if hits[i].Load() != 1 {
+				t.Fatalf("workers=%d: item %d covered %d times", workers, i, hits[i].Load())
+			}
+		}
+		for s := 0; s < Shards(n, width); s++ {
+			if shardSet[s].Load() != 1 {
+				t.Fatalf("workers=%d: shard %d ran %d times", workers, s, shardSet[s].Load())
+			}
+		}
+		_ = want
+	}
+}
+
+func TestLanes(t *testing.T) {
+	if Lanes(nil, 4, 100) != nil {
+		t.Fatal("nil tracer must yield nil lanes")
+	}
+	tr := trace.New(64)
+	lanes := Lanes(tr, 3, 100)
+	if len(lanes) != 3 {
+		t.Fatalf("len(lanes) = %d", len(lanes))
+	}
+	seen := map[trace.Track]bool{}
+	for _, l := range lanes {
+		if seen[l] {
+			t.Fatal("duplicate track")
+		}
+		seen[l] = true
+	}
+}
+
+func TestFirstErrKeepsLowestIndex(t *testing.T) {
+	var f FirstErr
+	if f.Err() != nil {
+		t.Fatal("zero FirstErr not nil")
+	}
+	e3, e1 := errors.New("three"), errors.New("one")
+	f.Set(3, e3)
+	f.Set(2, nil)
+	f.Set(1, e1)
+	f.Set(5, errors.New("five"))
+	if f.Err() != e1 {
+		t.Fatalf("Err() = %v, want %v", f.Err(), e1)
+	}
+	f.Set(0, e3)
+	if f.Err() != e3 {
+		t.Fatalf("Err() after lower index = %v, want %v", f.Err(), e3)
+	}
+}
+
+func TestFirstErrConcurrent(t *testing.T) {
+	var f FirstErr
+	errs := make([]error, 100)
+	for i := range errs {
+		errs[i] = fmt.Errorf("task %d", i)
+	}
+	Run(8, 100, func(w, i int) { f.Set(i, errs[i]) })
+	if f.Err() != errs[0] {
+		t.Fatalf("Err() = %v, want %v", f.Err(), errs[0])
+	}
+}

@@ -24,7 +24,10 @@ type Convergence struct {
 }
 
 // ConvergenceProfile computes the profile. cfg.MaxDistance is the deepest
-// distance analyzed.
+// distance analyzed. One refinement sweep serves every distance: the
+// per-round observer snapshots each partition as dense class ids (round-d
+// signatures are independent of MaxDistance, so the snapshot equals what
+// a standalone distance-d run would produce).
 func ConvergenceProfile(g hin.GraphBackend, cfg SignatureConfig) (*Convergence, error) {
 	if cfg.MaxDistance < 0 {
 		return nil, fmt.Errorf("risk: negative MaxDistance")
@@ -33,22 +36,15 @@ func ConvergenceProfile(g hin.GraphBackend, cfg SignatureConfig) (*Convergence, 
 	if n == 0 {
 		return nil, fmt.Errorf("risk: empty graph")
 	}
-	// Signatures per distance.
-	perDist := make([][]uint64, cfg.MaxDistance+1)
-	for d := 0; d <= cfg.MaxDistance; d++ {
-		c := cfg
-		c.MaxDistance = d
-		sigs, err := Signatures(g, c)
-		if err != nil {
-			return nil, err
-		}
-		perDist[d] = sigs
-	}
-	// Partition ids per distance: two entities share a class id iff they
-	// share a signature.
 	classes := make([][]int32, cfg.MaxDistance+1)
-	for d, sigs := range perDist {
-		ids := make(map[uint64]int32)
+	out := &Convergence{
+		Risk:      make([]float64, cfg.MaxDistance+1),
+		Converged: make([]float64, cfg.MaxDistance+1),
+	}
+	_, err := sweep(g, cfg, func(d int, sigs []uint64) {
+		// Class ids are assigned in entity order, so they are
+		// deterministic; counts[id] is the class size.
+		ids := make(map[uint64]int32, len(sigs))
 		cl := make([]int32, n)
 		for v, s := range sigs {
 			id, ok := ids[s]
@@ -59,26 +55,19 @@ func ConvergenceProfile(g hin.GraphBackend, cfg SignatureConfig) (*Convergence, 
 			cl[v] = id
 		}
 		classes[d] = cl
+		out.Risk[d] = DatasetRisk(sigs, nil)
+	})
+	if err != nil {
+		return nil, err
 	}
 	final := classes[cfg.MaxDistance]
-	out := &Convergence{
-		Risk:      make([]float64, cfg.MaxDistance+1),
-		Converged: make([]float64, cfg.MaxDistance+1),
-	}
-	// finalSize[class] = size of the final class of each entity.
-	finalCount := make(map[int32]int)
-	for _, c := range final {
-		finalCount[c]++
-	}
+	// finalCount[class] = size of the final class of each entity.
+	finalCount := classCounts(final)
 	for d := 0; d <= cfg.MaxDistance; d++ {
-		out.Risk[d] = DatasetRisk(perDist[d], nil)
 		// An entity has converged at d if its class at d has the same
 		// size as its final class (classes only split as d grows, so
 		// equal size means identical membership).
-		count := make(map[int32]int)
-		for _, c := range classes[d] {
-			count[c]++
-		}
+		count := classCounts(classes[d])
 		converged := 0
 		for v := 0; v < n; v++ {
 			if count[classes[d][v]] == finalCount[final[v]] {
@@ -88,4 +77,19 @@ func ConvergenceProfile(g hin.GraphBackend, cfg SignatureConfig) (*Convergence, 
 		out.Converged[d] = float64(converged) / float64(n)
 	}
 	return out, nil
+}
+
+// classCounts tallies class sizes for dense class ids.
+func classCounts(cl []int32) []int {
+	max := int32(-1)
+	for _, c := range cl {
+		if c > max {
+			max = c
+		}
+	}
+	counts := make([]int, max+1)
+	for _, c := range cl {
+		counts[c]++
+	}
+	return counts
 }

@@ -2,9 +2,10 @@ package risk
 
 import (
 	"fmt"
-	"sort"
 
 	"github.com/hinpriv/dehin/internal/hin"
+	"github.com/hinpriv/dehin/internal/obs"
+	"github.com/hinpriv/dehin/internal/obs/trace"
 )
 
 // SignatureConfig selects which information feeds the attribute-metapath-
@@ -19,8 +20,20 @@ type SignatureConfig struct {
 	LinkTypes []hin.LinkTypeID
 	// EntityAttrs are the scalar attribute indices contributing to the
 	// distance-0 value. The paper's Section 6.1 uses only the number of
-	// tags "to better observe the growth of risk".
+	// tags "to better observe the growth of risk". Indices are validated
+	// upfront against every entity type of the graph's schema.
 	EntityAttrs []int
+	// Workers bounds the refinement worker pool: 0 means GOMAXPROCS.
+	// Signatures are positionally determined per fixed-width entity
+	// shard, so the result is byte-identical for every Workers and
+	// GOMAXPROCS value (fingerprint-tested).
+	Workers int
+	// Metrics receives sweep counters and the run-latency histogram.
+	// Nil disables instrumentation (the obs contract: one branch off).
+	Metrics *obs.Registry
+	// Trace receives a per-sweep root span with one child per refinement
+	// round and per-worker shard lanes. Nil disables tracing.
+	Trace *trace.Tracer
 }
 
 // Signatures computes, for every entity, a 64-bit hash of its attribute-
@@ -38,65 +51,46 @@ type SignatureConfig struct {
 // weighted edges: exactly the equivalence induced by expanding "5-time-
 // mentionee's yob, 5-time-mentionee's gender, ..." feature vectors, without
 // materializing the exponential feature space.
+//
+// Refinement rounds run on the internal/par worker pool (cfg.Workers);
+// the output is byte-identical at every worker count.
 func Signatures(g hin.GraphBackend, cfg SignatureConfig) ([]uint64, error) {
-	if cfg.MaxDistance < 0 {
-		return nil, fmt.Errorf("risk: negative MaxDistance")
-	}
-	for _, lt := range cfg.LinkTypes {
-		if int(lt) >= g.Schema().NumLinkTypes() {
-			return nil, fmt.Errorf("risk: link type %d out of range", lt)
-		}
-	}
-	n := g.NumEntities()
-	sig := make([]uint64, n)
-	for v := 0; v < n; v++ {
-		h := newHash()
-		for _, ai := range cfg.EntityAttrs {
-			if ai < 0 || ai >= g.NumAttrs(hin.EntityID(v)) {
-				return nil, fmt.Errorf("risk: attr index %d out of range for entity %d", ai, v)
-			}
-			h = hashInt64(h, g.Attr(hin.EntityID(v), ai))
-		}
-		sig[v] = h
-	}
-	next := make([]uint64, n)
-	pairs := make([]pair, 0, 64)
-	buf := &hin.EdgeBuf{}
-	for d := 1; d <= cfg.MaxDistance; d++ {
-		for v := 0; v < n; v++ {
-			h := hashUint64(newHash(), sig[v])
-			for _, lt := range cfg.LinkTypes {
-				tos, ws := g.OutEdgesBuf(buf, lt, hin.EntityID(v))
-				pairs = pairs[:0]
-				for i, to := range tos {
-					pairs = append(pairs, pair{w: ws[i], s: sig[to]})
-				}
-				sort.Slice(pairs, func(a, b int) bool {
-					if pairs[a].w != pairs[b].w {
-						return pairs[a].w < pairs[b].w
-					}
-					return pairs[a].s < pairs[b].s
-				})
-				h = hashUint64(h, uint64(lt)+0x9d39)
-				for _, p := range pairs {
-					h = hashInt64(h, int64(p.w))
-					h = hashUint64(h, p.s)
-				}
-			}
-			next[v] = h
-		}
-		sig, next = next, sig
-	}
-	return sig, nil
+	return sweep(g, cfg, nil)
 }
 
-type pair struct {
-	w int32
-	s uint64
+// validateSignatureConfig front-loads every input check so the refinement
+// rounds run branch-free: distance and link types against the schema, and
+// attribute indices against every entity type the schema declares (an
+// upfront schema property, not a per-entity one — an index must be valid
+// for all types or the distance-0 hash would be ill-defined).
+func validateSignatureConfig(g hin.GraphBackend, cfg SignatureConfig) error {
+	if cfg.MaxDistance < 0 {
+		return fmt.Errorf("risk: negative MaxDistance")
+	}
+	s := g.Schema()
+	for _, lt := range cfg.LinkTypes {
+		if int(lt) >= s.NumLinkTypes() {
+			return fmt.Errorf("risk: link type %d out of range", lt)
+		}
+	}
+	for _, ai := range cfg.EntityAttrs {
+		if ai < 0 {
+			return fmt.Errorf("risk: negative attr index %d", ai)
+		}
+		for t := 0; t < s.NumEntityTypes(); t++ {
+			et := s.EntityType(hin.EntityTypeID(t))
+			if ai >= len(et.Attrs) {
+				return fmt.Errorf("risk: attr index %d out of range for entity type %q", ai, et.Name)
+			}
+		}
+	}
+	return nil
 }
 
 // NetworkRisk computes the dataset privacy risk R(T) = C(T)/N of Theorem 1
 // over the attribute-metapath-combined values at the configured distance.
+// Callers that also need the cardinality, the signatures, or risk at every
+// intermediate distance should use NetworkSweep, which shares one sweep.
 func NetworkRisk(g hin.GraphBackend, cfg SignatureConfig) (float64, error) {
 	sigs, err := Signatures(g, cfg)
 	if err != nil {
@@ -114,22 +108,36 @@ func NetworkCardinality(g hin.GraphBackend, cfg SignatureConfig) (int, error) {
 	return Cardinality(sigs), nil
 }
 
-// FNV-1a, inlined so signature hashing allocates nothing.
+// Signature hashing. The seed is the FNV-1a offset basis (kept from the
+// original byte-at-a-time implementation), but each 64-bit word now folds
+// in with three multiplies of murmur3-style word mixing instead of eight
+// FNV byte rounds. Signature *values* differ from the byte-wise scheme;
+// the induced partition — the only thing risk depends on — is identical,
+// because equal inputs still hash equal and distinct inputs still separate
+// (64-bit collisions stay negligible).
 
 const (
 	fnvOffset = 14695981039346656037
-	fnvPrime  = 1099511628211
+	hashMul1  = 0xff51afd7ed558ccd
+	hashMul2  = 0xc4ceb9fe1a85ec53
 )
 
 func newHash() uint64 { return fnvOffset }
 
+// hashUint64 folds one word into the running hash: mix the word
+// (multiply, rotate, multiply), xor it in, then diffuse the accumulator
+// (rotate, multiply-add). Three multiplies per word, no data-dependent
+// branches, nothing allocated.
+//
+//hin:hot
 func hashUint64(h, v uint64) uint64 {
-	for i := 0; i < 8; i++ {
-		h ^= v & 0xff
-		h *= fnvPrime
-		v >>= 8
-	}
-	return h
+	v *= hashMul1
+	v = v<<31 | v>>33
+	v *= hashMul2
+	h ^= v
+	h = h<<27 | h>>37
+	return h*5 + 0x52dce729
 }
 
+//hin:hot
 func hashInt64(h uint64, v int64) uint64 { return hashUint64(h, uint64(v)) }

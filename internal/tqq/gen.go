@@ -2,14 +2,12 @@ package tqq
 
 import (
 	"fmt"
-	"runtime"
 	"slices"
-	"sync"
-	"sync/atomic"
 
 	"github.com/hinpriv/dehin/internal/hin"
 	"github.com/hinpriv/dehin/internal/obs"
 	"github.com/hinpriv/dehin/internal/obs/trace"
+	"github.com/hinpriv/dehin/internal/par"
 	"github.com/hinpriv/dehin/internal/randx"
 )
 
@@ -309,45 +307,18 @@ type edgeTask struct {
 // slots, so the schedule cannot affect the result. The callback receives
 // the pool worker index (stable per goroutine, always 0 when serial) so
 // instrumentation can attribute work to timeline lanes.
+//
+// The pool itself now lives in internal/par (the shared deterministic
+// sweep layer grown out of this recipe); these wrappers keep the
+// generator's call sites and vocabulary unchanged.
 func runTasks(workers, n int, task func(worker, i int)) {
-	workers = poolSize(workers, n)
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			task(0, i)
-		}
-		return
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				task(w, i)
-			}
-		}(w)
-	}
-	wg.Wait()
+	par.Run(workers, n, task)
 }
 
 // poolSize resolves the effective worker count runTasks will use for n
 // tasks: 0 means GOMAXPROCS, never more workers than tasks, at least 1.
 func poolSize(workers, n int) int {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	return workers
+	return par.Workers(workers, n)
 }
 
 // workerLanes allocates one tracer track per pool worker, so the spans of
@@ -355,14 +326,7 @@ func poolSize(workers, n int) int {
 // renders one row per track and expects same-row spans to nest). Returns
 // nil when tracing is off - the single branch the disabled path pays.
 func workerLanes(tr *trace.Tracer, workers, n int) []trace.Track {
-	if tr == nil {
-		return nil
-	}
-	lanes := make([]trace.Track, poolSize(workers, n))
-	for i := range lanes {
-		lanes[i] = tr.NewTrack()
-	}
-	return lanes
+	return par.Lanes(tr, workers, n)
 }
 
 // userShards returns the number of fixed-width user shards for cfg.
