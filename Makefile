@@ -15,7 +15,20 @@ BENCH_DIFF_MATCH ?= BenchmarkDeanonymizeSingle|BenchmarkDeanonymizeSingleCSR|Ben
 BENCH_DIFF_TOL ?= 15
 BENCH_VERIFY_OUT ?= /tmp/dehin-bench-verify.json
 
-.PHONY: build test lint verify race-par bench-diff fuzz bench benchdump
+# serve-smoke knobs (see SERVICE.md "Load testing"):
+#   SERVE_SMOKE_USERS    fixture graph size (small: this is a smoke, not
+#                        the committed BENCH_7.json load run)
+#   SERVE_SMOKE_SECONDS  burst duration
+#   SERVE_SMOKE_TOL      allowed p99 regression in percent vs BENCH_7.json;
+#                        wide because the smoke fixture is smaller and the
+#                        burst shorter than the committed 30s/50k-user run
+#   SKIP_SERVE_SMOKE     set non-empty to skip the smoke in verify
+SERVE_SMOKE_USERS ?= 5000
+SERVE_SMOKE_SECONDS ?= 5
+SERVE_SMOKE_TOL ?= 300
+SERVE_SMOKE_DIR ?= /tmp/dehin-serve-smoke
+
+.PHONY: build test lint verify race-par bench-diff fuzz bench benchdump serve-smoke
 
 build:
 	$(GO) build ./...
@@ -36,8 +49,10 @@ lint:
 # real concurrency (the sharded generator, the parallel workbench/registry,
 # the obs metrics registry, and the span tracer), the paperscale smoke
 # (the miniature generate->persist->load->attack->risk pipeline; skip with
-# SKIP_PAPERSCALE=1), and the bench-regression gate on the zero-allocation
-# query benchmarks. Keep it green before committing.
+# SKIP_PAPERSCALE=1), the hinriskd end-to-end smoke (a real daemon under a
+# short hinload burst, p99 gated against BENCH_7.json; skip with
+# SKIP_SERVE_SMOKE=1), and the bench-regression gate on the
+# zero-allocation query benchmarks. Keep it green before committing.
 verify:
 	$(GO) vet ./...
 	$(GO) vet -copylocks -loopclosure ./...
@@ -46,6 +61,9 @@ verify:
 	$(MAKE) race-par
 ifeq ($(strip $(SKIP_PAPERSCALE)),)
 	$(GO) test -run TestPaperscaleSmoke -count=1 .
+endif
+ifeq ($(strip $(SKIP_SERVE_SMOKE)),)
+	$(MAKE) serve-smoke
 endif
 ifeq ($(strip $(SKIP_BENCH_DIFF)),)
 	$(MAKE) bench-diff
@@ -60,8 +78,26 @@ endif
 race-par:
 	GOMAXPROCS=2 $(GO) test -race -count=1 ./internal/par
 	GOMAXPROCS=2 $(GO) test -race -count=1 \
-		-run 'Worker|Parallel|Sweep|Combine|Checksum' \
-		./internal/risk ./internal/hin ./internal/dehin
+		-run 'Worker|Parallel|Sweep|Combine|Checksum|Reload' \
+		./internal/risk ./internal/hin ./internal/dehin ./internal/serve
+
+# serve-smoke is the end-to-end service gate: build the real binaries,
+# generate a small deterministic fixture graph, run hinriskd under a short
+# hinload burst (every request must succeed), and gate the measured p99
+# against the committed BENCH_7.json load baseline via benchdiff. The
+# burst is closed-loop at hinload's default concurrency, so it doubles as
+# a quick sanity check that the admission-control path stays out of the
+# read-only endpoints.
+serve-smoke:
+	mkdir -p $(SERVE_SMOKE_DIR)
+	$(GO) build -o $(SERVE_SMOKE_DIR)/ ./cmd/hinriskd ./cmd/hinload ./cmd/tqqgen
+	$(SERVE_SMOKE_DIR)/tqqgen -users $(SERVE_SMOKE_USERS) -seed 3 \
+		-out $(SERVE_SMOKE_DIR)/fixture -graph-out $(SERVE_SMOKE_DIR)/fixture.hincsr
+	$(SERVE_SMOKE_DIR)/hinload \
+		-launch '$(SERVE_SMOKE_DIR)/hinriskd -graph $(SERVE_SMOKE_DIR)/fixture.hincsr -addr 127.0.0.1:0' \
+		-duration $(SERVE_SMOKE_SECONDS)s -seed 1 -out $(SERVE_SMOKE_DIR)/report.json
+	$(GO) run ./cmd/benchdiff -old BENCH_7.json -new $(SERVE_SMOKE_DIR)/report.json \
+		-match 'BenchmarkLoad' -tol $(SERVE_SMOKE_TOL)
 
 # bench-diff re-measures the gated benchmarks and fails on a >BENCH_DIFF_TOL%
 # ns/op or any allocs/op regression against BENCH_BASELINE.

@@ -8,6 +8,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"sync/atomic"
 
 	"github.com/hinpriv/dehin/internal/par"
 )
@@ -419,18 +420,85 @@ func WriteCSRFileOpt(path string, g GraphBackend, opts CSRFileOptions) (err erro
 // CSRFile is an opened on-disk CSR graph: the decoded CSRGraph plus the
 // mapping it aliases. Close releases the mapping; the graph must not be
 // used afterwards.
+//
+// Long-lived holders that hand the graph to concurrent readers (the serve
+// layer's epoch snapshots) guard the mapping with the pin count: every
+// in-flight reader holds one Pin for as long as it may decode adjacency
+// rows through an EdgeBuf cursor, and Close refuses to unmap while pins
+// are outstanding. A retire-path bug then surfaces as ErrLiveCursors
+// instead of a SIGSEGV on the unmapped pages.
 type CSRFile struct {
 	g     *CSRGraph
 	unmap func() error
+	// pins counts live cursor leases; csrFileClosed (negative) marks the
+	// file closed so late Pin calls fail instead of racing the unmap.
+	pins atomic.Int64
 }
+
+// csrFileClosed is the pin-count sentinel marking a closed file. Any
+// negative value works; half the range keeps concurrent Unpin underflow
+// (itself a bug) from ever wrapping back to a plausible count.
+const csrFileClosed = int64(-1) << 40
+
+// ErrLiveCursors is returned by Close while cursor pins are outstanding.
+var ErrLiveCursors = errors.New("hin: csr file has live cursors")
 
 // Graph returns the backend view of the file.
 func (c *CSRFile) Graph() *CSRGraph { return c.g }
 
-// Close releases the underlying mapping. Idempotent.
+// Pin takes a cursor lease on the mapping: until the matching Unpin, Close
+// fails with ErrLiveCursors instead of unmapping under a live EdgeBuf
+// cursor. Pin fails once the file is closed. Lock-free; safe for any
+// number of concurrent readers.
+func (c *CSRFile) Pin() error {
+	if c == nil {
+		return errors.New("hin: pin of nil csr file")
+	}
+	for {
+		p := c.pins.Load()
+		if p < 0 {
+			return errors.New("hin: pin of closed csr file")
+		}
+		if c.pins.CompareAndSwap(p, p+1) {
+			return nil
+		}
+	}
+}
+
+// Unpin releases one Pin lease.
+func (c *CSRFile) Unpin() {
+	if c == nil {
+		return
+	}
+	c.pins.Add(-1)
+}
+
+// Pins returns the number of outstanding cursor leases (0 after Close).
+func (c *CSRFile) Pins() int64 {
+	if c == nil {
+		return 0
+	}
+	if p := c.pins.Load(); p > 0 {
+		return p
+	}
+	return 0
+}
+
+// Close releases the underlying mapping. Idempotent. While Pin leases are
+// outstanding it returns ErrLiveCursors and leaves the mapping intact, so
+// a premature epoch retirement is a recoverable error, not a fault on the
+// next row decode.
 func (c *CSRFile) Close() error {
 	if c == nil || c.unmap == nil {
 		return nil
+	}
+	for !c.pins.CompareAndSwap(0, csrFileClosed) {
+		switch p := c.pins.Load(); {
+		case p < 0:
+			return nil // already closed
+		case p > 0:
+			return fmt.Errorf("%w: %d outstanding pins", ErrLiveCursors, p)
+		}
 	}
 	u := c.unmap
 	c.unmap = nil

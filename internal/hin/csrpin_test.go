@@ -1,0 +1,107 @@
+package hin
+
+import (
+	"errors"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// TestCSRFilePinBlocksClose pins the epoch-refcount contract the serve
+// layer's snapshot retirement relies on: closing a CSR file while cursor
+// leases are outstanding is ErrLiveCursors (and leaves the mapping fully
+// usable), not a fault on the next row decode.
+func TestCSRFilePinBlocksClose(t *testing.T) {
+	g := randomRichGraph(t, 77)
+	path := filepath.Join(t.TempDir(), "pin.hincsr")
+	if err := WriteCSRFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	cf, err := OpenCSRFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := cf.Pin(); err != nil {
+		t.Fatalf("Pin: %v", err)
+	}
+	if err := cf.Pin(); err != nil {
+		t.Fatalf("second Pin: %v", err)
+	}
+	if got := cf.Pins(); got != 2 {
+		t.Fatalf("Pins = %d, want 2", got)
+	}
+	if err := cf.Close(); !errors.Is(err, ErrLiveCursors) {
+		t.Fatalf("Close with live cursors = %v, want ErrLiveCursors", err)
+	}
+
+	// The refused Close must leave the graph readable: decode a row
+	// through an EdgeBuf cursor, which would fault had the file unmapped.
+	buf := &EdgeBuf{}
+	csr := cf.Graph()
+	for lt := 0; lt < csr.Schema().NumLinkTypes(); lt++ {
+		for v := 0; v < csr.NumEntities(); v++ {
+			csr.OutEdgesBuf(buf, LinkTypeID(lt), EntityID(v))
+		}
+	}
+
+	cf.Unpin()
+	if err := cf.Close(); !errors.Is(err, ErrLiveCursors) {
+		t.Fatalf("Close with one live cursor = %v, want ErrLiveCursors", err)
+	}
+	cf.Unpin()
+	if got := cf.Pins(); got != 0 {
+		t.Fatalf("Pins after unpin = %d, want 0", got)
+	}
+	if err := cf.Close(); err != nil {
+		t.Fatalf("Close after drain: %v", err)
+	}
+	if err := cf.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := cf.Pin(); err == nil {
+		t.Fatal("Pin after Close succeeded, want error")
+	}
+	if got := cf.Pins(); got != 0 {
+		t.Fatalf("Pins after close = %d, want 0", got)
+	}
+}
+
+// TestCSRFilePinConcurrent hammers Pin/Unpin from many goroutines while a
+// closer retries, asserting exactly one Close eventually succeeds and no
+// pin is stranded. Run under -race in the race-par lane.
+func TestCSRFilePinConcurrent(t *testing.T) {
+	g := randomRichGraph(t, 78)
+	path := filepath.Join(t.TempDir(), "pinrace.hincsr")
+	if err := WriteCSRFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	cf, err := OpenCSRFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	const rounds = 200
+	var wg sync.WaitGroup
+	buf := make([]*EdgeBuf, workers)
+	for w := 0; w < workers; w++ {
+		buf[w] = &EdgeBuf{}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			csr := cf.Graph()
+			for i := 0; i < rounds; i++ {
+				if err := cf.Pin(); err != nil {
+					return // closed: pins must stop succeeding
+				}
+				csr.OutEdgesBuf(buf[w], 0, EntityID(i%csr.NumEntities()))
+				cf.Unpin()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := cf.Close(); err != nil {
+		t.Fatalf("Close after all readers drained: %v", err)
+	}
+}

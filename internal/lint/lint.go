@@ -87,9 +87,10 @@ type Config struct {
 }
 
 // DefaultConfig returns the repository's invariant scopes: the nine
-// result-producing packages are deterministic, the two instrumentation
-// packages must be nil-safe, and only the instrumentation layer may write
-// raw logs.
+// result-producing packages are deterministic; the two instrumentation
+// packages plus the server layer (whose handlers must degrade, not
+// panic, on a nil or closed *Server) must be nil-safe; and only the
+// instrumentation layer may write raw logs.
 func DefaultConfig() *Config {
 	return &Config{
 		DeterministicPkgs: []string{
@@ -97,7 +98,7 @@ func DefaultConfig() *Config {
 			"internal/risk", "internal/anonymize", "internal/baseline",
 			"internal/bipartite", "internal/randx", "internal/experiments",
 		},
-		NilSafePkgs:   []string{"internal/obs", "internal/obs/trace"},
+		NilSafePkgs:   []string{"internal/obs", "internal/obs/trace", "internal/serve"},
 		LogExemptPkgs: []string{"internal/obs", "internal/obs/trace"},
 	}
 }

@@ -13,6 +13,7 @@ import (
 // suitable for JSON encoding, expvar publishing, or asserting in tests.
 type Snapshot struct {
 	Counters   map[string]int64        `json:"counters"`
+	Gauges     map[string]int64        `json:"gauges,omitempty"`
 	Histograms map[string]HistSnapshot `json:"histograms"`
 }
 
@@ -76,6 +77,10 @@ type Bucket struct {
 // re-loading live atomics one by one.
 func (s Snapshot) Counter(id string) int64 { return s.Counters[id] }
 
+// Gauge returns the snapshotted level of the named gauge series (0 when
+// absent).
+func (s Snapshot) Gauge(id string) int64 { return s.Gauges[id] }
+
 // Snapshot copies every metric. Writers are never blocked - metrics stay
 // lock-free - so a snapshot taken mid-run cannot be a single atomic cut;
 // instead the registry is read repeatedly until two consecutive passes
@@ -87,7 +92,7 @@ func (s Snapshot) Counter(id string) int64 { return s.Counters[id] }
 // successive snapshots never move backwards.
 func (r *Registry) Snapshot() Snapshot {
 	if r == nil {
-		return Snapshot{Counters: map[string]int64{}, Histograms: map[string]HistSnapshot{}}
+		return Snapshot{Counters: map[string]int64{}, Gauges: map[string]int64{}, Histograms: map[string]HistSnapshot{}}
 	}
 	prev := r.readPass()
 	for i := 0; i < snapshotAttempts-1; i++ {
@@ -107,6 +112,8 @@ const snapshotAttempts = 4
 type pass struct {
 	counterIDs []string
 	counters   []int64
+	gaugeIDs   []string
+	gauges     []int64
 	histIDs    []string
 	hists      [][NumBuckets + 1]int64 // buckets then sum
 }
@@ -118,16 +125,25 @@ func (r *Registry) readPass() pass {
 	for id := range r.counters {
 		p.counterIDs = append(p.counterIDs, id)
 	}
+	p.gaugeIDs = make([]string, 0, len(r.gauges))
+	for id := range r.gauges {
+		p.gaugeIDs = append(p.gaugeIDs, id)
+	}
 	p.histIDs = make([]string, 0, len(r.hists))
 	for id := range r.hists {
 		p.histIDs = append(p.histIDs, id)
 	}
 	counters := make([]*Counter, len(p.counterIDs))
+	gauges := make([]*Gauge, len(p.gaugeIDs))
 	hists := make([]*Histogram, len(p.histIDs))
 	sort.Strings(p.counterIDs)
+	sort.Strings(p.gaugeIDs)
 	sort.Strings(p.histIDs)
 	for i, id := range p.counterIDs {
 		counters[i] = r.counters[id]
+	}
+	for i, id := range p.gaugeIDs {
+		gauges[i] = r.gauges[id]
 	}
 	for i, id := range p.histIDs {
 		hists[i] = r.hists[id]
@@ -137,6 +153,10 @@ func (r *Registry) readPass() pass {
 	p.counters = make([]int64, len(counters))
 	for i, c := range counters {
 		p.counters[i] = c.Value()
+	}
+	p.gauges = make([]int64, len(gauges))
+	for i, g := range gauges {
+		p.gauges[i] = g.Value()
 	}
 	p.hists = make([][NumBuckets + 1]int64, len(hists))
 	for i, h := range hists {
@@ -149,11 +169,16 @@ func (r *Registry) readPass() pass {
 }
 
 func passesEqual(a, b pass) bool {
-	if len(a.counters) != len(b.counters) || len(a.hists) != len(b.hists) {
+	if len(a.counters) != len(b.counters) || len(a.gauges) != len(b.gauges) || len(a.hists) != len(b.hists) {
 		return false
 	}
 	for i := range a.counters {
 		if a.counters[i] != b.counters[i] || a.counterIDs[i] != b.counterIDs[i] {
+			return false
+		}
+	}
+	for i := range a.gauges {
+		if a.gauges[i] != b.gauges[i] || a.gaugeIDs[i] != b.gaugeIDs[i] {
 			return false
 		}
 	}
@@ -172,6 +197,12 @@ func (p pass) toSnapshot() Snapshot {
 	}
 	for i, id := range p.counterIDs {
 		s.Counters[id] = p.counters[i]
+	}
+	if len(p.gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(p.gauges))
+		for i, id := range p.gaugeIDs {
+			s.Gauges[id] = p.gauges[i]
+		}
 	}
 	for i, id := range p.histIDs {
 		var hs HistSnapshot
@@ -209,6 +240,21 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			lastFamily = family
 		}
 		if _, err := fmt.Fprintf(w, "%s%s %d\n", family, labels, p.Counters[id]); err != nil {
+			return err
+		}
+	}
+
+	gaugeIDs := sortedKeys(p.Gauges)
+	lastFamily = ""
+	for _, id := range gaugeIDs {
+		family, labels := splitSeries(id)
+		if family != lastFamily {
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", family); err != nil {
+				return err
+			}
+			lastFamily = family
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", family, labels, p.Gauges[id]); err != nil {
 			return err
 		}
 	}

@@ -61,6 +61,54 @@ func (c *Counter) Value() int64 {
 	return c.v.Load()
 }
 
+// Gauge is an atomic instantaneous value: a level that rises and falls
+// (queue depth, in-flight requests, loaded epoch) rather than a monotone
+// event count. The zero value is ready to use; a nil *Gauge is a no-op on
+// every method, following the package's nil-disables contract.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() {
+	if g == nil {
+		return
+	}
+	g.v.Add(1)
+}
+
+// Dec subtracts one.
+func (g *Gauge) Dec() {
+	if g == nil {
+		return
+	}
+	g.v.Add(-1)
+}
+
+// Add adds n (which may be negative).
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value loads the current level; 0 on a nil gauge.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
 // NumBuckets is the fixed histogram resolution: bucket i counts observed
 // values whose uint64 bit length is i, i.e. bucket 0 holds the value 0 and
 // bucket i>0 holds [2^(i-1), 2^i - 1]. 64 buckets cover every non-negative
@@ -144,6 +192,7 @@ func (t Timer) Stop() {
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
+	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 }
 
@@ -151,6 +200,7 @@ type Registry struct {
 func New() *Registry {
 	return &Registry{
 		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
 	}
 }
@@ -169,10 +219,36 @@ func (r *Registry) Counter(name string, labels ...string) *Counter {
 		if _, dup := r.hists[id]; dup {
 			panic(fmt.Sprintf("obs: %q already registered as a histogram", id))
 		}
+		if _, dup := r.gauges[id]; dup {
+			panic(fmt.Sprintf("obs: %q already registered as a gauge", id))
+		}
 		c = &Counter{}
 		r.counters[id] = c
 	}
 	return c
+}
+
+// Gauge returns (registering on first use) the gauge with the given name
+// and optional label key/value pairs. Nil registry returns nil.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	id := seriesID(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[id]
+	if !ok {
+		if _, dup := r.counters[id]; dup {
+			panic(fmt.Sprintf("obs: %q already registered as a counter", id))
+		}
+		if _, dup := r.hists[id]; dup {
+			panic(fmt.Sprintf("obs: %q already registered as a histogram", id))
+		}
+		g = &Gauge{}
+		r.gauges[id] = g
+	}
+	return g
 }
 
 // Histogram returns (registering on first use) the histogram with the
@@ -188,6 +264,9 @@ func (r *Registry) Histogram(name string, labels ...string) *Histogram {
 	if !ok {
 		if _, dup := r.counters[id]; dup {
 			panic(fmt.Sprintf("obs: %q already registered as a counter", id))
+		}
+		if _, dup := r.gauges[id]; dup {
+			panic(fmt.Sprintf("obs: %q already registered as a gauge", id))
 		}
 		h = &Histogram{}
 		r.hists[id] = h

@@ -12,14 +12,22 @@ import (
 func TestNilSafety(t *testing.T) {
 	var r *Registry
 	c := r.Counter("x_total")
+	g := r.Gauge("z_depth")
 	h := r.Histogram("y_ns")
-	if c != nil || h != nil {
+	if c != nil || g != nil || h != nil {
 		t.Fatal("nil registry must hand out nil metrics")
 	}
 	c.Inc()
 	c.Add(5)
 	if c.Value() != 0 {
 		t.Fatal("nil counter value")
+	}
+	g.Inc()
+	g.Dec()
+	g.Set(9)
+	g.Add(-3)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge value")
 	}
 	h.Observe(3)
 	tm := h.Time()
@@ -50,6 +58,53 @@ func TestCounterAndIdempotentLookup(t *testing.T) {
 	if a.Value() != 3 || b.Value() != 10 {
 		t.Fatalf("got %d / %d", a.Value(), b.Value())
 	}
+}
+
+func TestGauge(t *testing.T) {
+	r := New()
+	g := r.Gauge("queue_depth", "endpoint", "dehin")
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	g.Add(5)
+	if g.Value() != 6 {
+		t.Fatalf("gauge = %d, want 6", g.Value())
+	}
+	g.Set(2)
+	if again := r.Gauge("queue_depth", "endpoint", "dehin"); again != g {
+		t.Fatal("same series must return the same gauge")
+	}
+	s := r.Snapshot()
+	if got := s.Gauge(`queue_depth{endpoint="dehin"}`); got != 2 {
+		t.Fatalf("snapshot gauge = %d, want 2", got)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "# TYPE queue_depth gauge\n") ||
+		!strings.Contains(out, `queue_depth{endpoint="dehin"} 2`+"\n") {
+		t.Fatalf("prometheus output missing gauge family:\n%s", out)
+	}
+
+	// A name may not be reused across metric kinds: the mismatch is a
+	// programming error and must fail loudly.
+	mustPanic := func(fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatal("cross-kind reuse did not panic")
+			}
+		}()
+		fn()
+	}
+	mustPanic(func() { r.Counter("queue_depth", "endpoint", "dehin") })
+	mustPanic(func() { r.Histogram("queue_depth", "endpoint", "dehin") })
+	r.Counter("events_total")
+	mustPanic(func() { r.Gauge("events_total") })
+	r.Histogram("lat_ns")
+	mustPanic(func() { r.Gauge("lat_ns") })
 }
 
 func TestLabelOrderCanonicalized(t *testing.T) {

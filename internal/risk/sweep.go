@@ -246,6 +246,30 @@ func NetworkSweep(g hin.GraphBackend, cfg SignatureConfig) (*SweepResult, error)
 	return res, nil
 }
 
+// SignatureGrid computes the full signature matrix of one sweep: row d
+// holds every entity's signature at distance d, for d in [0, MaxDistance].
+// Each row is bit-identical to a standalone Signatures call at that
+// distance (round-d signatures do not depend on MaxDistance), so a caller
+// serving per-distance risk queries — the hinriskd snapshot layer — pins
+// the same answers as MaxDistance+1 separate library calls while paying
+// for one sweep.
+func SignatureGrid(g hin.GraphBackend, cfg SignatureConfig) ([][]uint64, error) {
+	if cfg.MaxDistance < 0 {
+		return nil, fmt.Errorf("risk: negative MaxDistance")
+	}
+	grid := make([][]uint64, cfg.MaxDistance+1)
+	final, err := sweep(g, cfg, func(d int, sigs []uint64) {
+		if d < cfg.MaxDistance {
+			grid[d] = append([]uint64(nil), sigs...)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	grid[cfg.MaxDistance] = final
+	return grid, nil
+}
+
 // riskFromCounts is DatasetRisk with the class-size map precomputed: the
 // mean over tuples of 1/k(t), summed in entity order so the float result
 // is bit-identical to DatasetRisk(sigs, nil).

@@ -112,6 +112,44 @@ func TestNetworkSweepMatchesPerDistanceCalls(t *testing.T) {
 	}
 }
 
+// SignatureGrid row d must be bit-identical to a standalone Signatures run
+// at MaxDistance=d — the contract that lets the serving layer answer any
+// (user, distance) query from one precomputed sweep.
+func TestSignatureGridMatchesPerDistanceCalls(t *testing.T) {
+	g := sweepTestGraph(t, 500, 21)
+	cfg := SignatureConfig{
+		MaxDistance: 3,
+		LinkTypes:   allLinkTypes(),
+		EntityAttrs: []int{tqq.AttrNumTags},
+	}
+	grid, err := SignatureGrid(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid) != cfg.MaxDistance+1 {
+		t.Fatalf("grid rows = %d, want %d", len(grid), cfg.MaxDistance+1)
+	}
+	for d := 0; d <= cfg.MaxDistance; d++ {
+		c := cfg
+		c.MaxDistance = d
+		want, err := Signatures(g, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(grid[d]) != len(want) {
+			t.Fatalf("row %d length %d, want %d", d, len(grid[d]), len(want))
+		}
+		for v := range want {
+			if grid[d][v] != want[v] {
+				t.Fatalf("distance %d: grid signature of entity %d differs from standalone run", d, v)
+			}
+		}
+	}
+	if _, err := SignatureGrid(g, SignatureConfig{MaxDistance: -1}); err == nil {
+		t.Fatal("negative MaxDistance must error")
+	}
+}
+
 // Round-d signatures do not depend on MaxDistance: the observer at round d
 // must see exactly what a standalone MaxDistance=d run computes. This is
 // the equivalence NetworkSweep and ConvergenceProfile build on.

@@ -1,0 +1,360 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"github.com/hinpriv/dehin/internal/dehin"
+	"github.com/hinpriv/dehin/internal/hin"
+	"github.com/hinpriv/dehin/internal/obs"
+	"github.com/hinpriv/dehin/internal/risk"
+	"github.com/hinpriv/dehin/internal/tqq"
+)
+
+// testConfig is the t.qq-shaped server configuration the tests serve:
+// numtags-seeded signatures (the paper's Section 6.1 choice) at distances
+// 0..2, profile matching per TQQProfile.
+func testConfig() Config {
+	return Config{
+		MaxDistance:    2,
+		EntityAttrs:    []int{tqq.AttrNumTags},
+		Profile:        dehin.TQQProfile(),
+		AttackDistance: 1,
+		Metrics:        obs.New(),
+	}
+}
+
+func allLinkTypes(s *hin.Schema) []hin.LinkTypeID {
+	lts := make([]hin.LinkTypeID, s.NumLinkTypes())
+	for i := range lts {
+		lts[i] = hin.LinkTypeID(i)
+	}
+	return lts
+}
+
+func testGraph(t *testing.T, users int, seed uint64) *hin.Graph {
+	t.Helper()
+	ds, err := tqq.Generate(tqq.DefaultConfig(users, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds.Graph
+}
+
+func getJSON(t *testing.T, ts *httptest.Server, path string, want int, out any) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != want {
+		t.Fatalf("GET %s = %d, want %d: %s", path, resp.StatusCode, want, body)
+	}
+	if out != nil {
+		if err := json.Unmarshal(body, out); err != nil {
+			t.Fatalf("GET %s: decoding %q: %v", path, body, err)
+		}
+	}
+}
+
+func postJSON(t *testing.T, ts *httptest.Server, path string, reqBody any, want int, out any) {
+	t.Helper()
+	buf, err := json.Marshal(reqBody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != want {
+		t.Fatalf("POST %s = %d, want %d: %s", path, resp.StatusCode, want, body)
+	}
+	if out != nil {
+		if err := json.Unmarshal(body, out); err != nil {
+			t.Fatalf("POST %s: decoding %q: %v", path, body, err)
+		}
+	}
+}
+
+func TestEndpointsAgainstLibrary(t *testing.T) {
+	g := testGraph(t, 600, 7)
+	cfg := testConfig()
+	s := New(cfg)
+	if err := s.LoadBackend(g); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Snapshot info reflects the loaded graph and epoch 1.
+	var info snapshotResponse
+	getJSON(t, ts, "/v1/snapshot", 200, &info)
+	if info.Epoch != 1 || info.Users != g.NumEntities() || info.Edges != g.NumEdgesTotal() {
+		t.Fatalf("snapshot info = %+v", info)
+	}
+	if len(info.DatasetRisk) != cfg.MaxDistance+1 {
+		t.Fatalf("dataset risk has %d entries, want %d", len(info.DatasetRisk), cfg.MaxDistance+1)
+	}
+
+	// /v1/risk must agree with standalone library sweeps at every distance
+	// (the server's empty LinkTypes config means "all link types").
+	for d := 0; d <= cfg.MaxDistance; d++ {
+		sigs, err := risk.Signatures(g, risk.SignatureConfig{
+			MaxDistance: d, LinkTypes: allLinkTypes(g.Schema()), EntityAttrs: cfg.EntityAttrs,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make(map[uint64]int32)
+		for _, sg := range sigs {
+			counts[sg]++
+		}
+		for _, user := range []int{0, 17, 599} {
+			var rr riskResponse
+			getJSON(t, ts, fmt.Sprintf("/v1/risk?user=%d&distance=%d", user, d), 200, &rr)
+			wantK := counts[sigs[user]]
+			if rr.ClassSize != wantK || rr.Risk != 1/float64(wantK) || rr.Epoch != 1 {
+				t.Fatalf("risk(%d, %d) = %+v, want class %d", user, d, rr, wantK)
+			}
+			if rr.Label != g.Label(hin.EntityID(user)) {
+				t.Fatalf("risk label = %q", rr.Label)
+			}
+		}
+	}
+
+	// Top-k is sorted by ascending class size with ids breaking ties.
+	var tk topkResponse
+	getJSON(t, ts, "/v1/topk?k=25&distance=2", 200, &tk)
+	if tk.K != 25 || len(tk.Users) != 25 {
+		t.Fatalf("topk = %+v", tk)
+	}
+	for i := 1; i < len(tk.Users); i++ {
+		a, b := tk.Users[i-1], tk.Users[i]
+		if a.ClassSize > b.ClassSize || (a.ClassSize == b.ClassSize && a.User >= b.User) {
+			t.Fatalf("topk order violated at %d: %+v then %+v", i, a, b)
+		}
+	}
+
+	// Error surface: missing/malformed params, unknown users, oversized k.
+	var er errResponse
+	getJSON(t, ts, "/v1/risk", 400, &er)
+	if er.Epoch != 1 || er.Error == "" {
+		t.Fatalf("missing user error = %+v", er)
+	}
+	getJSON(t, ts, "/v1/risk?user=abc", 400, nil)
+	getJSON(t, ts, "/v1/risk?user=5&distance=9", 400, nil)
+	getJSON(t, ts, "/v1/risk?user=600000", 404, &er)
+	if er.Epoch != 1 {
+		t.Fatalf("unknown-user error must carry the epoch: %+v", er)
+	}
+	getJSON(t, ts, "/v1/topk?k=100000", 413, nil)
+	getJSON(t, ts, "/v1/topk?k=0", 400, nil)
+
+	// /v1/dehin answers exactly what the library's attack answers.
+	attack, err := dehin.NewAttack(g, dehin.Config{
+		MaxDistance: cfg.AttackDistance, Profile: cfg.Profile, UseIndex: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snip := snippetFromUser(g, 42)
+	want := attack.Deanonymize(mustBuildSnippet(t, g.Schema(), snip), hin.EntityID(snip.Target))
+	var dr dehinResponse
+	postJSON(t, ts, "/v1/dehin", snip, 200, &dr)
+	if dr.Candidates != len(want) || len(dr.Matches) != len(want) {
+		t.Fatalf("dehin candidates = %d, want %d", dr.Candidates, len(want))
+	}
+	for i, m := range dr.Matches {
+		if m.User != int32(want[i]) {
+			t.Fatalf("dehin match %d = %d, want %d", i, m.User, want[i])
+		}
+	}
+	if dr.Unique != (len(want) == 1) {
+		t.Fatalf("unique = %v with %d candidates", dr.Unique, len(want))
+	}
+
+	// Malformed snippet bodies.
+	resp, err := http.Post(ts.URL+"/v1/dehin", "application/json", bytes.NewReader([]byte("{nope")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("malformed dehin body = %d", resp.StatusCode)
+	}
+	postJSON(t, ts, "/v1/dehin", dehinRequest{}, 400, nil)
+	postJSON(t, ts, "/v1/dehin", dehinRequest{
+		Entities: []dehinEntity{{Type: "nosuch", Attrs: nil}},
+	}, 400, nil)
+	postJSON(t, ts, "/v1/dehin", dehinRequest{
+		Target:   5,
+		Entities: []dehinEntity{{Type: "User", Attrs: []int64{1980, 0, 1, 1}}},
+	}, 400, nil)
+}
+
+// snippetFromUser builds the attacker's view of one user: its profile and
+// out-neighborhood, labels stripped. The target risk answers then depend
+// only on structure, as in the paper's threat model.
+func snippetFromUser(g *hin.Graph, u hin.EntityID) dehinRequest {
+	schema := g.Schema()
+	req := dehinRequest{Target: 0}
+	ids := map[hin.EntityID]int{}
+	addEntity := func(v hin.EntityID) int {
+		if i, ok := ids[v]; ok {
+			return i
+		}
+		i := len(req.Entities)
+		ids[v] = i
+		req.Entities = append(req.Entities, dehinEntity{
+			Type:  schema.EntityType(g.EntityType(v)).Name,
+			Attrs: g.Attrs(v),
+		})
+		return i
+	}
+	addEntity(u)
+	for lt := 0; lt < schema.NumLinkTypes(); lt++ {
+		tos, ws := g.OutEdges(hin.LinkTypeID(lt), u)
+		for i, to := range tos {
+			j := addEntity(to)
+			req.Links = append(req.Links, dehinLink{
+				Type: schema.LinkType(hin.LinkTypeID(lt)).Name,
+				From: 0, To: j, Strength: ws[i],
+			})
+		}
+	}
+	return req
+}
+
+func mustBuildSnippet(t *testing.T, schema *hin.Schema, req dehinRequest) *hin.Graph {
+	t.Helper()
+	g, err := buildSnippet(schema, &req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestReloadSwapsEpochAndRetiresFile(t *testing.T) {
+	dir := t.TempDir()
+	p1 := filepath.Join(dir, "g1.hincsr")
+	p2 := filepath.Join(dir, "g2.hincsr")
+	if err := hin.WriteCSRFile(p1, testGraph(t, 300, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := hin.WriteCSRFile(p2, testGraph(t, 400, 2)); err != nil {
+		t.Fatal(err)
+	}
+
+	s := New(testConfig())
+	if err := s.Load(p1); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var info snapshotResponse
+	getJSON(t, ts, "/v1/snapshot", 200, &info)
+	if info.Epoch != 1 || info.Users != 300 || info.Source != p1 {
+		t.Fatalf("epoch 1 info = %+v", info)
+	}
+
+	// A reader holding epoch 1 across the reload keeps a usable graph.
+	sn, err := s.acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	postJSON(t, ts, "/v1/reload", reloadRequest{Source: p2}, 200, &info)
+	if info.Epoch != 2 || info.Users != 400 || info.Source != p2 {
+		t.Fatalf("epoch 2 info = %+v", info)
+	}
+	if got := s.Epoch(); got != 2 {
+		t.Fatalf("Epoch() = %d", got)
+	}
+
+	// The retired epoch's mmap must still be readable while held.
+	if sn.g.NumEntities() != 300 || sn.g.Label(7) == "" {
+		t.Fatal("retired snapshot unreadable while referenced")
+	}
+	s.release(sn)
+
+	// An empty source re-opens the current file.
+	postJSON(t, ts, "/v1/reload", reloadRequest{}, 200, &info)
+	if info.Epoch != 3 || info.Source != p2 {
+		t.Fatalf("empty-source reload info = %+v", info)
+	}
+
+	// Close drains every epoch; afterwards requests answer 503 and
+	// further loads fail.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	getJSON(t, ts, "/v1/risk?user=1", 503, nil)
+	if err := s.Load(p1); err == nil {
+		t.Fatal("Load after Close succeeded")
+	}
+}
+
+func TestAttackAdmissionRejectsWhenSaturated(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxAttackInFlight = 1
+	cfg.MaxAttackQueue = -1 // no waiting: reject the moment the slot is taken
+	s := New(cfg)
+	if err := s.LoadBackend(testGraph(t, 200, 3)); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	snip := dehinRequest{Entities: []dehinEntity{{Type: "User", Attrs: []int64{1985, 1, 10, 2}}}}
+
+	// Occupy the single slot directly, then observe the fast 429.
+	s.attackSlots <- struct{}{}
+	postJSON(t, ts, "/v1/dehin", snip, 429, nil)
+	if got := s.met.rejected.Value(); got != 1 {
+		t.Fatalf("rejected counter = %d", got)
+	}
+	<-s.attackSlots
+
+	var dr dehinResponse
+	postJSON(t, ts, "/v1/dehin", snip, 200, &dr)
+	if dr.Epoch != 1 {
+		t.Fatalf("dehin epoch = %d", dr.Epoch)
+	}
+}
+
+func TestNilServerSurface(t *testing.T) {
+	var s *Server
+	if err := s.Load("x"); err == nil {
+		t.Fatal("nil Load")
+	}
+	if err := s.LoadBackend(nil); err == nil {
+		t.Fatal("nil LoadBackend")
+	}
+	if err := s.Reload(""); err == nil {
+		t.Fatal("nil Reload")
+	}
+	if s.Epoch() != 0 {
+		t.Fatal("nil Epoch")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal("nil Close must be a no-op")
+	}
+	s.Register(http.NewServeMux()) // must not panic
+	if s.Handler() == nil {
+		t.Fatal("nil Handler")
+	}
+}
