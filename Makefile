@@ -10,8 +10,9 @@ FUZZTIME ?= 30s
 #   BENCH_DIFF_TOL   allowed ns/op regression in percent (allocs/op growth
 #                    always fails); raise on noisy shared machines
 #   SKIP_BENCH_DIFF  set non-empty to skip the gate entirely
-BENCH_BASELINE ?= BENCH_6.json
-BENCH_DIFF_MATCH ?= BenchmarkDeanonymizeSingle|BenchmarkDeanonymizeSingleCSR|BenchmarkDeanonymizeInstrumented|BenchmarkPaperscale
+BENCH_BASELINE ?= BENCH_8.json
+BENCH_DIFF_MATCH ?= BenchmarkDeanonymizeSingle|BenchmarkDeanonymizeSingleCSR|BenchmarkDeanonymizeInstrumented|BenchmarkPaperscale|BenchmarkServeRisk
+BENCH_DIFF_PKGS ?= . ./internal/serve
 BENCH_DIFF_TOL ?= 15
 BENCH_VERIFY_OUT ?= /tmp/dehin-bench-verify.json
 
@@ -87,22 +88,30 @@ race-par:
 # against the committed BENCH_7.json load baseline via benchdiff. The
 # burst is closed-loop at hinload's default concurrency, so it doubles as
 # a quick sanity check that the admission-control path stays out of the
-# read-only endpoints.
+# read-only endpoints. The daemon runs with the full opt-in observability
+# surface (flight recorder + runtime metrics), so the p99 gate measures
+# the instrumented configuration; hinload -check-obs then scrapes
+# /metrics and /debug/requests and asserts every serve_* and runtime_*
+# family is present and the recorder saw the burst.
 serve-smoke:
 	mkdir -p $(SERVE_SMOKE_DIR)
 	$(GO) build -o $(SERVE_SMOKE_DIR)/ ./cmd/hinriskd ./cmd/hinload ./cmd/tqqgen
 	$(SERVE_SMOKE_DIR)/tqqgen -users $(SERVE_SMOKE_USERS) -seed 3 \
 		-out $(SERVE_SMOKE_DIR)/fixture -graph-out $(SERVE_SMOKE_DIR)/fixture.hincsr
 	$(SERVE_SMOKE_DIR)/hinload \
-		-launch '$(SERVE_SMOKE_DIR)/hinriskd -graph $(SERVE_SMOKE_DIR)/fixture.hincsr -addr 127.0.0.1:0' \
+		-launch '$(SERVE_SMOKE_DIR)/hinriskd -graph $(SERVE_SMOKE_DIR)/fixture.hincsr -addr 127.0.0.1:0 -flight 64 -flight-slow 100ms -runtime-metrics 500ms' \
+		-wait-ready 10s -check-obs \
 		-duration $(SERVE_SMOKE_SECONDS)s -seed 1 -out $(SERVE_SMOKE_DIR)/report.json
 	$(GO) run ./cmd/benchdiff -old BENCH_7.json -new $(SERVE_SMOKE_DIR)/report.json \
 		-match 'BenchmarkLoad' -tol $(SERVE_SMOKE_TOL)
 
 # bench-diff re-measures the gated benchmarks and fails on a >BENCH_DIFF_TOL%
-# ns/op or any allocs/op regression against BENCH_BASELINE.
+# ns/op or any allocs/op regression against BENCH_BASELINE. The serve
+# package rides along for BenchmarkServeRisk/-Instrumented, whose
+# allocs/op part of the gate pins the instrumented serving path at zero
+# allocations.
 bench-diff:
-	$(GO) run ./cmd/benchdump -bench '$(BENCH_DIFF_MATCH)' -pkg . -out $(BENCH_VERIFY_OUT)
+	$(GO) run ./cmd/benchdump -bench '$(BENCH_DIFF_MATCH)' -pkg '$(BENCH_DIFF_PKGS)' -out $(BENCH_VERIFY_OUT)
 	$(GO) run ./cmd/benchdiff -old $(BENCH_BASELINE) -new $(BENCH_VERIFY_OUT) \
 		-match '$(BENCH_DIFF_MATCH)' -tol $(BENCH_DIFF_TOL)
 
@@ -118,4 +127,4 @@ bench:
 
 # benchdump refreshes the committed benchmark snapshot (see BENCH_*.json).
 benchdump:
-	$(GO) run ./cmd/benchdump -pkg ./... -out BENCH_6.json
+	$(GO) run ./cmd/benchdump -pkg ./... -out BENCH_8.json

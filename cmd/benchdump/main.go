@@ -37,7 +37,7 @@ func main() {
 		bench     = flag.String("bench", ".", "benchmark regexp passed to go test -bench")
 		out       = flag.String("out", "BENCH_1.json", "output JSON path")
 		benchtime = flag.String("benchtime", "", "go test -benchtime value (empty for default)")
-		pkg       = flag.String("pkg", ".", "package pattern to benchmark")
+		pkg       = flag.String("pkg", ".", "package pattern(s) to benchmark, space-separated")
 		count     = flag.Int("count", 1, "go test -count value")
 	)
 	flag.Parse()
@@ -47,7 +47,7 @@ func main() {
 	if *benchtime != "" {
 		args = append(args, "-benchtime", *benchtime)
 	}
-	args = append(args, *pkg)
+	args = append(args, strings.Fields(*pkg)...)
 
 	cmd := exec.Command("go", args...)
 	cmd.Stderr = os.Stderr

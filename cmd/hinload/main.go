@@ -61,6 +61,8 @@ func main() {
 		out         = flag.String("out", "", "write a benchjson report here")
 		failOnErr   = flag.Bool("fail-on-error", true, "exit non-zero if any request fails")
 		checkEpochs = flag.Bool("check-epochs", true, "decode bodies and fail responses without an epoch")
+		waitReady   = flag.Duration("wait-ready", 0, "poll /v1/healthz for up to this long before starting the schedule")
+		checkObs    = flag.Bool("check-obs", false, "after the run, scrape /metrics and /debug/requests and fail if the serve/runtime families are missing or malformed")
 	)
 	flag.Parse()
 	if (*url == "") == (*launch == "") {
@@ -78,6 +80,12 @@ func main() {
 		defer stopServer()
 	}
 	base = strings.TrimRight(base, "/")
+
+	if *waitReady > 0 {
+		if err := waitHealthy(base, *waitReady); err != nil {
+			fatalf("wait-ready: %v", err)
+		}
+	}
 
 	users, maxDistance, err := probeSnapshot(base)
 	if err != nil {
@@ -101,6 +109,13 @@ func main() {
 		if err := benchjson.Write(*out, res.benchEntries()); err != nil {
 			fatalf("write %s: %v", *out, err)
 		}
+	}
+	if *checkObs {
+		// Scrape while the (possibly -launch'd) server is still up.
+		if err := checkObsSurface(base); err != nil {
+			fatalf("check-obs: %v", err)
+		}
+		logger.Info("obs surface ok", "url", base)
 	}
 	if stopServer != nil {
 		stopServer()
@@ -168,6 +183,106 @@ func launchServer(cmdline string) (string, func(), error) {
 		}
 	}
 	return base, stop, nil
+}
+
+// waitHealthy polls /v1/healthz until it answers 200 (snapshot loaded)
+// or the timeout lapses — the readiness gate for scripts that race the
+// daemon's first load.
+func waitHealthy(base string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	client := &http.Client{Timeout: 2 * time.Second}
+	var last error
+	for time.Now().Before(deadline) {
+		resp, err := client.Get(base + "/v1/healthz")
+		if err != nil {
+			last = err
+		} else {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == 200 {
+				return nil
+			}
+			last = fmt.Errorf("status %d", resp.StatusCode)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("not ready after %v: %v", timeout, last)
+}
+
+// requiredMetricFamilies are the families -check-obs demands on
+// /metrics: the request-path surface plus the runtime collector's. The
+// smoke launches hinriskd with the flight recorder and runtime
+// telemetry on, so their absence means the wiring broke.
+var requiredMetricFamilies = []string{
+	"serve_requests_total",
+	"serve_request_ns",
+	"serve_epoch",
+	"serve_snapshot_age_s",
+	"serve_flight_captured_total",
+	"runtime_heap_live_bytes",
+	"runtime_heap_goal_bytes",
+	"runtime_goroutines",
+	"runtime_gc_pause_ns",
+	"runtime_sched_latency_ns",
+}
+
+// checkObsSurface asserts the server's observability endpoints are
+// present and well-formed: every required family appears in the
+// Prometheus text (with a # TYPE line), /v1/healthz answers ok, and
+// /debug/requests?format=json decodes into the flight recorder
+// envelope.
+func checkObsSurface(base string) error {
+	if err := waitHealthy(base, 2*time.Second); err != nil {
+		return fmt.Errorf("healthz: %v", err)
+	}
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	text, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		return fmt.Errorf("/metrics status %d", resp.StatusCode)
+	}
+	for _, fam := range requiredMetricFamilies {
+		if !bytes.Contains(text, []byte("# TYPE "+fam+" ")) {
+			return fmt.Errorf("/metrics missing family %s", fam)
+		}
+		if !bytes.Contains(text, []byte("\n"+fam)) && !bytes.HasPrefix(text, []byte(fam)) {
+			return fmt.Errorf("/metrics family %s has no samples", fam)
+		}
+	}
+	resp, err = http.Get(base + "/debug/requests?format=json")
+	if err != nil {
+		return err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		return fmt.Errorf("/debug/requests status %d: %s", resp.StatusCode, body)
+	}
+	var flight struct {
+		Captured int64             `json:"captured"`
+		Total    int64             `json:"total"`
+		Records  []json.RawMessage `json:"records"`
+	}
+	if err := json.Unmarshal(body, &flight); err != nil {
+		return fmt.Errorf("/debug/requests: %v", err)
+	}
+	if flight.Total == 0 {
+		return fmt.Errorf("/debug/requests reports zero finished requests after a load run")
+	}
+	if int64(len(flight.Records)) < min64(flight.Captured, 1) {
+		return fmt.Errorf("/debug/requests: %d captured but %d records", flight.Captured, len(flight.Records))
+	}
+	return nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 func probeSnapshot(base string) (users, maxDistance int, err error) {

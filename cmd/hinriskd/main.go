@@ -5,17 +5,25 @@
 //	GET  /v1/topk?k=K&distance=N      most identifiable users
 //	POST /v1/dehin                    run the DeHIN attack for a snippet
 //	GET  /v1/snapshot                 current epoch and dataset risk
+//	GET  /v1/healthz                  readiness: snapshot present + age
 //	POST /v1/reload                   load a new snapshot file
 //	GET  /metrics, /debug/...         the obs operational surface
+//	GET  /debug/requests              flight recorder (-flight)
 //
 // Reads are lock-free (see internal/serve): queries answer from an
 // immutable snapshot swapped atomically by /v1/reload or SIGHUP, and
 // in-flight requests always finish on the epoch they started on.
 //
+// Observability is opt-in: -flight N retains the span trees of the last
+// N slow (>= -flight-slow) or failed requests for /debug/requests and a
+// SIGQUIT stderr dump; -runtime-metrics D polls runtime/metrics onto
+// /metrics every D.
+//
 // Usage:
 //
 //	hinriskd -graph snapshot.hincsr -addr :8321
-//	kill -HUP $(pidof hinriskd)   # re-load the same file in place
+//	kill -HUP $(pidof hinriskd)    # re-load the same file in place
+//	kill -QUIT $(pidof hinriskd)   # dump retained requests to stderr
 package main
 
 import (
@@ -30,10 +38,12 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"github.com/hinpriv/dehin/internal/dehin"
 	"github.com/hinpriv/dehin/internal/hin"
 	"github.com/hinpriv/dehin/internal/obs"
+	"github.com/hinpriv/dehin/internal/obs/trace"
 	"github.com/hinpriv/dehin/internal/serve"
 )
 
@@ -54,6 +64,10 @@ func main() {
 		inflight = flag.Int("inflight", 0, "max concurrent /v1/dehin attacks (0 = GOMAXPROCS)")
 		queue    = flag.Int("queue", 64, "max queued /v1/dehin requests before 429 (negative = none)")
 		workers  = flag.Int("workers", 0, "snapshot build worker pool size (0 = GOMAXPROCS)")
+
+		flightN    = flag.Int("flight", 0, "flight recorder capacity: retain the last N slow/failed request span trees (0 = off)")
+		flightSlow = flag.Duration("flight-slow", 100*time.Millisecond, "flight recorder slow threshold; 2xx requests at or above it are retained")
+		runtimeInt = flag.Duration("runtime-metrics", 0, "poll runtime/metrics onto /metrics at this interval (0 = off)")
 	)
 	flag.Parse()
 	if *graph == "" {
@@ -61,6 +75,13 @@ func main() {
 	}
 
 	reg := obs.New()
+	var flight *trace.Flight
+	if *flightN > 0 {
+		flight = trace.NewFlight(trace.FlightConfig{Capacity: *flightN, SlowThreshold: *flightSlow})
+	}
+	if *runtimeInt > 0 {
+		defer obs.StartRuntime(reg, *runtimeInt).Stop()
+	}
 	s := serve.New(serve.Config{
 		MaxDistance:    *maxDist,
 		AttackDistance: *atkDist,
@@ -76,6 +97,7 @@ func main() {
 		Workers:           *workers,
 		Metrics:           reg,
 		Log:               logger,
+		Flight:            flight,
 	})
 	if err := s.Load(*graph); err != nil {
 		fatalf("%v", err)
@@ -97,6 +119,24 @@ func main() {
 		for range hup {
 			if err := s.Reload(""); err != nil {
 				logger.Error("reload failed; keeping current epoch", "err", err)
+			}
+		}
+	}()
+
+	// SIGQUIT dumps the flight recorder to stderr (with durations) and
+	// keeps serving — the operator's "what just went slow?" lever.
+	// Registering the handler replaces the runtime's default
+	// stack-dump-and-exit behavior for this signal.
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	go func() {
+		for range quit {
+			if flight == nil {
+				logger.Info("flight recorder off; start with -flight to retain requests")
+				continue
+			}
+			if err := flight.WriteText(os.Stderr, trace.TreeOptions{Durations: true}); err != nil {
+				logger.Error("flight dump", "err", err)
 			}
 		}
 	}()

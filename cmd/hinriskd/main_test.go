@@ -11,6 +11,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"syscall"
 	"testing"
@@ -21,6 +22,9 @@ import (
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
+
+// ageRE masks the wall-clock snapshot age in healthz bodies.
+var ageRE = regexp.MustCompile(`"age_s":[0-9.eE+-]+`)
 
 // TestMain lets the test binary impersonate the real command: re-executed
 // with HINRISKD_RUN_MAIN=1 it runs main() on the given arguments, so the
@@ -157,6 +161,8 @@ func TestAPIConformanceGolden(t *testing.T) {
 		{name: "dehin wrong method", method: "GET", path: "/v1/dehin"},
 		{name: "reload", method: "POST", path: "/v1/reload", body: "{}"},
 		{name: "risk after reload", method: "GET", path: "/v1/risk?user=17"},
+		{name: "healthz", method: "GET", path: "/v1/healthz"},
+		{name: "debug requests disabled", method: "GET", path: "/debug/requests"},
 	}
 
 	var transcript bytes.Buffer
@@ -193,9 +199,11 @@ func TestAPIConformanceGolden(t *testing.T) {
 			c.name, c.method, c.path, note, resp.StatusCode, respBody)
 	}
 
-	// The fixture lives in a per-run temp dir; normalize the one
-	// run-dependent token so the transcript is stable.
+	// The fixture lives in a per-run temp dir and the healthz age is wall
+	// time; normalize both run-dependent tokens so the transcript is
+	// stable.
 	normalized := strings.ReplaceAll(transcript.String(), graphPath, "GRAPH")
+	normalized = ageRE.ReplaceAllString(normalized, `"age_s":AGE`)
 
 	golden := filepath.Join("testdata", "api_conformance.golden")
 	if *update {
@@ -333,4 +341,112 @@ func diffHint(got, want string) string {
 		}
 	}
 	return fmt.Sprintf("length mismatch: got %d bytes, want %d", len(got), len(want))
+}
+
+// TestObservabilityFlags boots the daemon with the full opt-in
+// observability surface — flight recorder at a 1ns threshold, runtime
+// metrics at the floor interval — and checks the wiring end to end:
+// captured requests on /debug/requests, runtime families on /metrics,
+// and a SIGQUIT flight dump on stderr while the daemon keeps serving.
+func TestObservabilityFlags(t *testing.T) {
+	graphPath, _ := writeFixtureGraph(t)
+	cmd := exec.Command(os.Args[0],
+		"-graph", graphPath, "-addr", "127.0.0.1:0",
+		"-flight", "8", "-flight-slow", "1ns", "-runtime-metrics", "100ms")
+	cmd.Env = append(os.Environ(), "HINRISKD_RUN_MAIN=1")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Signal(syscall.SIGTERM)
+		done := make(chan error, 1)
+		go func() { done <- cmd.Wait() }()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("daemon exit: %v\nstderr:\n%s", err, stderr.String())
+			}
+		case <-time.After(10 * time.Second):
+			cmd.Process.Kill()
+			t.Error("daemon did not exit on SIGTERM")
+		}
+	}()
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("no announcement\nstderr:\n%s", stderr.String())
+	}
+	base, ok := strings.CutPrefix(sc.Text(), "listening ")
+	if !ok {
+		t.Fatalf("unexpected announcement %q", sc.Text())
+	}
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, string(body)
+	}
+
+	// Every 200 is "slow" at 1ns, so the very first request is captured.
+	if code, _ := get("/v1/risk?user=17"); code != 200 {
+		t.Fatalf("risk = %d", code)
+	}
+	if code, _ := get("/v1/risk?user=99999"); code != 404 {
+		t.Fatalf("unknown user = %d", code)
+	}
+	code, body := get("/debug/requests?format=json")
+	if code != 200 {
+		t.Fatalf("debug/requests = %d: %s", code, body)
+	}
+	var env struct {
+		Captured int64 `json:"captured"`
+		Total    int64 `json:"total"`
+		Records  []struct {
+			Path   string `json:"path"`
+			Reason string `json:"reason"`
+		} `json:"records"`
+	}
+	if err := json.Unmarshal([]byte(body), &env); err != nil {
+		t.Fatalf("decoding %q: %v", body, err)
+	}
+	if env.Captured < 2 || env.Total < 2 || len(env.Records) < 2 {
+		t.Fatalf("envelope = %+v", env)
+	}
+
+	// Runtime metric families appear on /metrics after the first tick.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, metrics := get("/metrics")
+		if strings.Contains(metrics, "# TYPE runtime_goroutines gauge") &&
+			strings.Contains(metrics, "# TYPE runtime_heap_live_bytes gauge") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("runtime families never appeared on /metrics:\n%s", metrics)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// SIGQUIT dumps the retained requests to stderr and keeps serving.
+	cmd.Process.Signal(syscall.SIGQUIT)
+	deadline = time.Now().Add(5 * time.Second)
+	for !strings.Contains(stderr.String(), "flight recorder:") {
+		if time.Now().After(deadline) {
+			t.Fatalf("no flight dump after SIGQUIT\nstderr:\n%s", stderr.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if code, _ := get("/v1/risk?user=17"); code != 200 {
+		t.Fatalf("daemon stopped serving after SIGQUIT: %d", code)
+	}
 }

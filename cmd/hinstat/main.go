@@ -1,0 +1,165 @@
+// Command hinstat is the live operator console for hinriskd: it polls a
+// running daemon's /debug/vars and /v1/healthz and renders a top-like
+// view of QPS, per-endpoint latency quantiles, admission pressure,
+// snapshot epoch, and runtime/GC state. It can also diff two archived
+// metric snapshots (the obs -metrics-dump / WriteJSON format) for
+// before/after comparisons without a live server.
+//
+// Usage:
+//
+//	hinstat -url http://127.0.0.1:8321            # refresh every 2s
+//	hinstat -url http://127.0.0.1:8321 -once      # one absolute view
+//	hinstat -diff before.json after.json          # offline comparison
+//
+// Live rates are interval deltas: QPS and the latency quantiles cover
+// only the requests that arrived between two consecutive polls, so the
+// view tracks "now", not the lifetime average.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/hinpriv/dehin/internal/obs"
+)
+
+// logger is the command's structured stderr output (see internal/obs).
+var logger = obs.NewLogger(os.Stderr, slog.LevelInfo)
+
+func main() {
+	var (
+		url      = flag.String("url", "http://127.0.0.1:8321", "base URL of the hinriskd instance to watch")
+		interval = flag.Duration("interval", 2*time.Second, "poll interval for the live view")
+		count    = flag.Int("count", 0, "exit after this many refreshes (0 = until interrupted)")
+		once     = flag.Bool("once", false, "print one absolute (lifetime totals) view and exit")
+		noClear  = flag.Bool("no-clear", false, "append refreshes instead of clearing the screen")
+		diff     = flag.Bool("diff", false, "compare two metric snapshot files: hinstat -diff a.json b.json")
+	)
+	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fatalf("-diff needs exactly two snapshot files, got %d args", flag.NArg())
+		}
+		a, err := readSnapshotFile(flag.Arg(0))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		b, err := readSnapshotFile(flag.Arg(1))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		renderDiff(os.Stdout, a, b)
+		return
+	}
+
+	base := strings.TrimRight(*url, "/")
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	if *once {
+		cur, h, err := poll(client, base)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		renderLive(os.Stdout, obs.Snapshot{}, cur, 0, h)
+		return
+	}
+
+	prev, prevH, err := poll(client, base)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if !*noClear {
+		fmt.Print("\x1b[2J")
+	}
+	renderFrame(prev, prevH, obs.Snapshot{}, 0, *noClear)
+	prevAt := time.Now()
+	for i := 1; *count == 0 || i < *count; i++ {
+		time.Sleep(*interval)
+		cur, h, err := poll(client, base)
+		if err != nil {
+			logger.Error("poll failed; retrying", "url", base, "err", err)
+			continue
+		}
+		now := time.Now()
+		renderFrame(cur, h, prev, now.Sub(prevAt).Seconds(), *noClear)
+		prev, prevAt = cur, now
+	}
+}
+
+// renderFrame draws one refresh, home-cursoring first unless -no-clear.
+func renderFrame(cur obs.Snapshot, h *health, prev obs.Snapshot, dt float64, noClear bool) {
+	if !noClear {
+		// Home the cursor and clear to end of screen: repaint in place
+		// without the full-clear flicker.
+		fmt.Print("\x1b[H\x1b[0J")
+	}
+	renderLive(os.Stdout, prev, cur, dt, h)
+}
+
+// poll fetches one consistent view of the daemon: the metric snapshot
+// from /debug/vars (the expvar "obs" key is obs.Snapshot JSON) and the
+// readiness state from /v1/healthz. A healthz failure is not fatal —
+// the view degrades to metrics-only — but the metrics fetch must work.
+func poll(client *http.Client, base string) (obs.Snapshot, *health, error) {
+	var vars struct {
+		Obs obs.Snapshot `json:"obs"`
+	}
+	if err := getJSON(client, base+"/debug/vars", &vars); err != nil {
+		return obs.Snapshot{}, nil, err
+	}
+	var h health
+	if err := getJSON(client, base+"/v1/healthz", &h); err != nil {
+		return vars.Obs, nil, nil
+	}
+	return vars.Obs, &h, nil
+}
+
+// getJSON fetches url and decodes the body. Non-2xx status is an error
+// except for healthz's 503, whose body still carries the status field.
+func getJSON(client *http.Client, url string, dst any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(dst); err != nil {
+		return fmt.Errorf("GET %s: decode: %w", url, err)
+	}
+	return nil
+}
+
+// readSnapshotFile loads an obs.Snapshot from disk, accepting both the
+// bare WriteJSON/-metrics-dump format and a /debug/vars capture (where
+// the snapshot sits under the expvar "obs" key).
+func readSnapshotFile(path string) (obs.Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return obs.Snapshot{}, err
+	}
+	var envelope struct {
+		Obs *obs.Snapshot `json:"obs"`
+	}
+	if err := json.Unmarshal(data, &envelope); err == nil && envelope.Obs != nil {
+		return *envelope.Obs, nil
+	}
+	var s obs.Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return obs.Snapshot{}, fmt.Errorf("%s: not a metric snapshot: %w", path, err)
+	}
+	return s, nil
+}
+
+func fatalf(format string, args ...any) {
+	logger.Error(fmt.Sprintf(format, args...))
+	os.Exit(1)
+}

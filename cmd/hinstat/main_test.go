@@ -1,0 +1,179 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/hinpriv/dehin/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// snapBefore/snapAfter are the deterministic fixture pair: a serving
+// registry early in a load run and the same registry later, with an
+// endpoint and a histogram that only exist on one side to exercise the
+// union rendering.
+func snapBefore() obs.Snapshot {
+	r := obs.New()
+	r.Counter("serve_requests_total", "endpoint", "risk", "code", "200").Add(100)
+	r.Counter("serve_requests_total", "endpoint", "risk", "code", "404").Add(3)
+	r.Counter("serve_old_only_total").Add(7)
+	r.Gauge("serve_epoch").Set(1)
+	r.Gauge("runtime_heap_live_bytes").Set(5 << 20)
+	r.Histogram("serve_request_ns", "endpoint", "risk").ObserveN(4000, 100)
+	return r.Snapshot()
+}
+
+func snapAfter() obs.Snapshot {
+	r := obs.New()
+	r.Counter("serve_requests_total", "endpoint", "risk", "code", "200").Add(350)
+	r.Counter("serve_requests_total", "endpoint", "risk", "code", "404").Add(3)
+	r.Counter("serve_requests_total", "endpoint", "dehin", "code", "429").Add(12)
+	r.Gauge("serve_epoch").Set(3)
+	r.Gauge("runtime_heap_live_bytes").Set(9 << 20)
+	h := r.Histogram("serve_request_ns", "endpoint", "risk")
+	h.ObserveN(4000, 100)
+	h.ObserveN(60000, 250) // the interval's requests were slower
+	r.Histogram("serve_request_ns", "endpoint", "dehin").ObserveN(3_000_000, 12)
+	return r.Snapshot()
+}
+
+func TestParseSeries(t *testing.T) {
+	fam, labels := parseSeries(`serve_requests_total{code="200",endpoint="risk"}`)
+	if fam != "serve_requests_total" || labels["code"] != "200" || labels["endpoint"] != "risk" {
+		t.Fatalf("parse = %q %v", fam, labels)
+	}
+	fam, labels = parseSeries("runtime_goroutines")
+	if fam != "runtime_goroutines" || labels != nil {
+		t.Fatalf("bare parse = %q %v", fam, labels)
+	}
+}
+
+// TestDiffHistogram pins the interval arithmetic: only the between-poll
+// observations survive, and quantiles are recomputed over the delta.
+func TestDiffHistogram(t *testing.T) {
+	id := `serve_request_ns{endpoint="risk"}`
+	a, b := snapBefore(), snapAfter()
+	d := diffHistogram(a.Histograms[id], b.Histograms[id])
+	if d.Count != 250 {
+		t.Fatalf("delta count = %d, want 250", d.Count)
+	}
+	// All 250 interval observations landed in the 60000ns power-of-two
+	// bucket, so every quantile must sit in that bucket's range.
+	if d.P50 < 32769 || d.P50 > 65536 || d.P99 < 32769 || d.P99 > 65536 {
+		t.Fatalf("delta quantiles p50=%d p99=%d outside the interval bucket", d.P50, d.P99)
+	}
+	// Diff against an empty previous snapshot is the absolute histogram.
+	abs := diffHistogram(obs.HistSnapshot{}, b.Histograms[id])
+	if abs.Count != 350 {
+		t.Fatalf("absolute count = %d, want 350", abs.Count)
+	}
+}
+
+// TestRenderDiffGolden pins the deterministic before/after table, the
+// surface behind `hinstat -diff a.json b.json`. Regenerate with:
+//
+//	go test ./cmd/hinstat -run RenderDiffGolden -update
+func TestRenderDiffGolden(t *testing.T) {
+	var buf bytes.Buffer
+	renderDiff(&buf, snapBefore(), snapAfter())
+
+	golden := filepath.Join("testdata", "diff.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update): %v", err)
+	}
+	if buf.String() != string(want) {
+		t.Fatalf("diff table mismatch:\ngot:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+// TestRenderLive checks the live view's aggregation: QPS from counter
+// deltas over the interval, per-endpoint latency from histogram deltas,
+// status-class bucketing, and the header gauges.
+func TestRenderLive(t *testing.T) {
+	var buf bytes.Buffer
+	h := &health{Status: "ok", Epoch: 3, AgeS: 12}
+	renderLive(&buf, snapBefore(), snapAfter(), 5.0, h)
+	out := buf.String()
+
+	for _, want := range []string{
+		"hinriskd ok  epoch 3",
+		"snapshot age 12s",
+		"heap 9.0MiB live",
+		"endpoint",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("live view missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(out, "\n")
+	var riskLine, dehinLine string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "risk ") {
+			riskLine = l
+		}
+		if strings.HasPrefix(l, "dehin ") {
+			dehinLine = l
+		}
+	}
+	// risk: 250 new requests over 5s = 50.0 qps, all 2xx.
+	if !strings.Contains(riskLine, "50.0") {
+		t.Fatalf("risk qps wrong: %q", riskLine)
+	}
+	// dehin appeared this interval: 12 rejected requests = 2.4 qps,
+	// bucketed under 429.
+	if !strings.Contains(dehinLine, "2.4") || !strings.Contains(dehinLine, "12") {
+		t.Fatalf("dehin line wrong: %q", dehinLine)
+	}
+
+	// Absolute mode (dt=0) shows totals, not rates.
+	buf.Reset()
+	renderLive(&buf, obs.Snapshot{}, snapAfter(), 0, nil)
+	if !strings.Contains(buf.String(), "reqs") || !strings.Contains(buf.String(), "350") {
+		t.Fatalf("absolute view wrong:\n%s", buf.String())
+	}
+}
+
+// TestReadSnapshotFile accepts both on-disk formats: the bare
+// -metrics-dump WriteJSON object and a /debug/vars capture with the
+// snapshot under the "obs" key.
+func TestReadSnapshotFile(t *testing.T) {
+	dir := t.TempDir()
+	bare := filepath.Join(dir, "bare.json")
+	if err := os.WriteFile(bare, []byte(`{"counters":{"x":5},"histograms":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := readSnapshotFile(bare)
+	if err != nil || s.Counters["x"] != 5 {
+		t.Fatalf("bare = %+v, %v", s, err)
+	}
+	wrapped := filepath.Join(dir, "vars.json")
+	if err := os.WriteFile(wrapped, []byte(`{"cmdline":["x"],"obs":{"counters":{"y":9},"histograms":{}}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err = readSnapshotFile(wrapped)
+	if err != nil || s.Counters["y"] != 9 {
+		t.Fatalf("wrapped = %+v, %v", s, err)
+	}
+	if _, err := readSnapshotFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file must error")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte("not json"), 0o644)
+	if _, err := readSnapshotFile(bad); err == nil {
+		t.Fatal("malformed file must error")
+	}
+}

@@ -1,0 +1,271 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/hinpriv/dehin/internal/obs"
+)
+
+// parseSeries splits an obs series id — name{k1="v1",k2="v2"} — back
+// into its family name and label map. The registry canonicalizes ids
+// (labels sorted, values escaped), and every label value the repository
+// emits is a plain identifier, so a simple scan suffices; a malformed id
+// comes back with nil labels rather than an error.
+func parseSeries(id string) (string, map[string]string) {
+	brace := strings.IndexByte(id, '{')
+	if brace < 0 {
+		return id, nil
+	}
+	family := id[:brace]
+	body := strings.TrimSuffix(id[brace+1:], "}")
+	labels := map[string]string{}
+	for _, part := range strings.Split(body, ",") {
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			continue
+		}
+		labels[k] = strings.Trim(v, `"`)
+	}
+	return family, labels
+}
+
+// fmtValue renders a metric value for humans: families carrying
+// nanoseconds (…_ns and their quantile offshoots) become rounded
+// durations, byte families become KiB/MiB/GiB, everything else is the
+// plain integer.
+func fmtValue(family string, v int64) string {
+	switch {
+	case strings.Contains(family, "_ns"):
+		return time.Duration(v).Round(time.Microsecond).String()
+	case strings.HasSuffix(family, "_bytes"):
+		return fmtBytes(v)
+	default:
+		return fmt.Sprintf("%d", v)
+	}
+}
+
+func fmtBytes(v int64) string {
+	switch {
+	case v >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(v)/(1<<30))
+	case v >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(v)/(1<<20))
+	case v >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(v)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", v)
+	}
+}
+
+// diffHistogram returns the histogram of observations recorded between
+// two cumulative snapshots of the same series: per-bucket count
+// subtraction, with quantiles recomputed over the delta. Buckets stay in
+// ascending upper-bound order, which Quantile requires.
+func diffHistogram(prev, cur obs.HistSnapshot) obs.HistSnapshot {
+	prevCount := make(map[int64]int64, len(prev.Buckets))
+	for _, b := range prev.Buckets {
+		prevCount[b.UpperBound] = b.Count
+	}
+	var out obs.HistSnapshot
+	for _, b := range cur.Buckets {
+		d := b.Count - prevCount[b.UpperBound]
+		if d <= 0 {
+			continue
+		}
+		out.Count += d
+		out.Buckets = append(out.Buckets, obs.Bucket{UpperBound: b.UpperBound, Count: d})
+	}
+	out.Sum = cur.Sum - prev.Sum
+	if out.Count > 0 {
+		out.P50 = out.Quantile(0.50)
+		out.P95 = out.Quantile(0.95)
+		out.P99 = out.Quantile(0.99)
+	}
+	return out
+}
+
+// health is the decoded /v1/healthz body.
+type health struct {
+	Status string  `json:"status"`
+	Epoch  uint64  `json:"epoch"`
+	AgeS   float64 `json:"age_s"`
+}
+
+// endpointRow is one line of the live per-endpoint table, aggregated
+// from the serve_requests_total and serve_request_ns series.
+type endpointRow struct {
+	name            string
+	requests        int64 // delta over the interval
+	ok, clientErr   int64
+	serverErr, busy int64
+	lat             obs.HistSnapshot
+}
+
+// collectEndpoints aggregates the serve request series into per-endpoint
+// interval rows (cur minus prev; pass an empty prev for absolute
+// totals). Rows come back sorted by endpoint name.
+func collectEndpoints(prev, cur obs.Snapshot) []endpointRow {
+	rows := map[string]*endpointRow{}
+	get := func(name string) *endpointRow {
+		r, ok := rows[name]
+		if !ok {
+			r = &endpointRow{name: name}
+			rows[name] = r
+		}
+		return r
+	}
+	for id, v := range cur.Counters {
+		family, labels := parseSeries(id)
+		if family != "serve_requests_total" || labels["endpoint"] == "" {
+			continue
+		}
+		d := v - prev.Counters[id]
+		if d < 0 {
+			d = v // counter reset (server restart): fall back to absolute
+		}
+		r := get(labels["endpoint"])
+		r.requests += d
+		switch c := labels["code"]; {
+		case strings.HasPrefix(c, "2"):
+			r.ok += d
+		case c == "429":
+			r.busy += d
+		case strings.HasPrefix(c, "4"):
+			r.clientErr += d
+		default:
+			r.serverErr += d
+		}
+	}
+	for id, h := range cur.Histograms {
+		family, labels := parseSeries(id)
+		if family != "serve_request_ns" || labels["endpoint"] == "" {
+			continue
+		}
+		get(labels["endpoint"]).lat = diffHistogram(prev.Histograms[id], h)
+	}
+	names := make([]string, 0, len(rows))
+	for n := range rows {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]endpointRow, 0, len(names))
+	for _, n := range names {
+		out = append(out, *rows[n])
+	}
+	return out
+}
+
+// renderLive writes one refresh of the top-like view: a header line
+// (epoch, admission pressure, runtime state), the per-endpoint table
+// with interval QPS and latency quantiles, and the flight/GC counters.
+// dt is the interval in seconds; pass 0 (with an empty prev) for a
+// single absolute view, which prints totals instead of rates.
+func renderLive(w io.Writer, prev, cur obs.Snapshot, dt float64, h *health) {
+	status, epoch := "?", int64(cur.Gauge("serve_epoch"))
+	if h != nil {
+		status = h.Status
+		epoch = int64(h.Epoch)
+	}
+	fmt.Fprintf(w, "hinriskd %s  epoch %d", status, epoch)
+	if h != nil {
+		fmt.Fprintf(w, "  snapshot age %s", (time.Duration(h.AgeS * float64(time.Second))).Round(time.Second))
+	}
+	fmt.Fprintf(w, "\nattack inflight %d  queue %d  rejected %d  flight captured %d\n",
+		cur.Gauge("serve_attack_inflight"), cur.Gauge("serve_attack_queue_depth"),
+		cur.Counter("serve_attack_rejected_total"), cur.Counter("serve_flight_captured_total"))
+	fmt.Fprintf(w, "goroutines %d  heap %s live / %s goal  gc cycles %d  gc pause p99 %s  sched p99 %s\n",
+		cur.Gauge("runtime_goroutines"),
+		fmtBytes(cur.Gauge("runtime_heap_live_bytes")), fmtBytes(cur.Gauge("runtime_heap_goal_bytes")),
+		cur.Counter("runtime_gc_cycles_total"),
+		fmtValue("_ns", cur.Histograms["runtime_gc_pause_ns"].P99),
+		fmtValue("_ns", cur.Histograms["runtime_sched_latency_ns"].P99))
+
+	rows := collectEndpoints(prev, cur)
+	if len(rows) == 0 {
+		fmt.Fprintln(w, "(no serve metrics yet)")
+		return
+	}
+	rate := "qps"
+	if dt <= 0 {
+		rate = "reqs"
+	}
+	fmt.Fprintf(w, "%-10s %10s %10s %10s %10s %6s %6s %6s %6s\n",
+		"endpoint", rate, "p50", "p95", "p99", "2xx", "4xx", "429", "5xx")
+	for _, r := range rows {
+		rateCell := fmt.Sprintf("%d", r.requests)
+		if dt > 0 {
+			rateCell = fmt.Sprintf("%.1f", float64(r.requests)/dt)
+		}
+		fmt.Fprintf(w, "%-10s %10s %10s %10s %10s %6d %6d %6d %6d\n",
+			r.name, rateCell,
+			fmtValue("_ns", r.lat.P50), fmtValue("_ns", r.lat.P95), fmtValue("_ns", r.lat.P99),
+			r.ok, r.clientErr, r.busy, r.serverErr)
+	}
+}
+
+// renderDiff writes the before/after comparison of two snapshots as a
+// deterministic table: counters, gauges, then histograms, each sorted by
+// series id, showing old → new and the delta. Series present in only one
+// snapshot show on their side with a "-" on the other. This is the
+// golden-tested surface behind `hinstat -diff a.json b.json`.
+func renderDiff(w io.Writer, a, b obs.Snapshot) {
+	fmt.Fprintln(w, "counters")
+	for _, id := range unionKeys(a.Counters, b.Counters) {
+		family, _ := parseSeries(id)
+		av, aok := a.Counters[id]
+		bv, bok := b.Counters[id]
+		fmt.Fprintf(w, "  %-60s %12s -> %-12s %+d\n", id,
+			presentValue(family, av, aok), presentValue(family, bv, bok), bv-av)
+	}
+	fmt.Fprintln(w, "gauges")
+	for _, id := range unionKeys(a.Gauges, b.Gauges) {
+		family, _ := parseSeries(id)
+		av, aok := a.Gauges[id]
+		bv, bok := b.Gauges[id]
+		fmt.Fprintf(w, "  %-60s %12s -> %-12s %+d\n", id,
+			presentValue(family, av, aok), presentValue(family, bv, bok), bv-av)
+	}
+	fmt.Fprintln(w, "histograms")
+	for _, id := range unionKeys(a.Histograms, b.Histograms) {
+		family, _ := parseSeries(id)
+		ah := a.Histograms[id]
+		bh := b.Histograms[id]
+		d := diffHistogram(ah, bh)
+		fmt.Fprintf(w, "  %-60s count %d -> %d (%+d)  p50 %s -> %s  p99 %s -> %s",
+			id, ah.Count, bh.Count, bh.Count-ah.Count,
+			fmtValue(family, ah.P50), fmtValue(family, bh.P50),
+			fmtValue(family, ah.P99), fmtValue(family, bh.P99))
+		if d.Count > 0 {
+			fmt.Fprintf(w, "  interval p50 %s p99 %s",
+				fmtValue(family, d.P50), fmtValue(family, d.P99))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func presentValue(family string, v int64, present bool) string {
+	if !present {
+		return "-"
+	}
+	return fmtValue(family, v)
+}
+
+func unionKeys[V any](a, b map[string]V) []string {
+	seen := map[string]bool{}
+	for k := range a {
+		seen[k] = true
+	}
+	for k := range b {
+		seen[k] = true
+	}
+	out := make([]string, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

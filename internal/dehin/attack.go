@@ -219,6 +219,20 @@ func (a *Attack) DeanonymizeAppend(dst []hin.EntityID, target hin.GraphBackend, 
 	return dst
 }
 
+// DeanonymizeSpan is Deanonymize carrying a caller-provided query span:
+// when qs is active the query records the same profile_candidates /
+// degree_prune / neighbor_match stage children that Run's sampled
+// queries get, parented under qs — this is how the serving layer's
+// per-request flight recorder sees inside an attack. An inactive span
+// (the zero Span) makes this exactly Deanonymize, so the plain
+// single-query paths stay untraced and allocation-free.
+func (a *Attack) DeanonymizeSpan(target hin.GraphBackend, tv hin.EntityID, qs trace.Span) []hin.EntityID {
+	s := a.getScratch()
+	dst := a.deanonymizeTraced(s, nil, target, tv, qs)
+	a.putScratch(s)
+	return dst
+}
+
 // ensureMemo (re)binds the scratch's memo table to the given prepared
 // target graph. Memoized results - linkMatch verdicts at depths >= 1 and
 // entity-matcher verdicts at depth 0 - are pure functions of (target

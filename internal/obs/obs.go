@@ -138,6 +138,21 @@ func (h *Histogram) Observe(v int64) {
 	h.sum.Add(v)
 }
 
+// ObserveN records the value v, n times, in one pair of atomic adds.
+// It exists for bulk transfers from external bucketed sources (the
+// runtime/metrics collector folds whole bucket deltas in per poll);
+// non-positive n is a no-op.
+func (h *Histogram) ObserveN(v, n int64) {
+	if h == nil || n <= 0 {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bits.Len64(uint64(v))].Add(n)
+	h.sum.Add(v * n)
+}
+
 // Count returns the total number of observations.
 func (h *Histogram) Count() int64 {
 	if h == nil {

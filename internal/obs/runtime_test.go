@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"bytes"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRuntimeCollectorNil pins the nil-disables contract: a nil registry
+// yields a nil collector whose every method is a no-op.
+func TestRuntimeCollectorNil(t *testing.T) {
+	if c := NewRuntimeCollector(nil); c != nil {
+		t.Fatal("nil registry produced a collector")
+	}
+	if c := StartRuntime(nil, time.Second); c != nil {
+		t.Fatal("nil registry started a collector")
+	}
+	var c *RuntimeCollector
+	c.Poll() // must not panic
+	c.Stop()
+}
+
+// TestRuntimePollPopulatesFamilies drives one explicit Poll and checks
+// every runtime family lands on the registry with a plausible value.
+func TestRuntimePollPopulatesFamilies(t *testing.T) {
+	r := New()
+	c := NewRuntimeCollector(r)
+
+	// Force GC activity so the cycle counter and pause histogram move
+	// between the constructor baseline and the poll.
+	runtime.GC()
+	runtime.GC()
+	c.Poll()
+
+	s := r.Snapshot()
+	if s.Gauge("runtime_heap_live_bytes") <= 0 {
+		t.Fatalf("heap live = %d", s.Gauge("runtime_heap_live_bytes"))
+	}
+	if s.Gauge("runtime_heap_goal_bytes") <= 0 {
+		t.Fatalf("heap goal = %d", s.Gauge("runtime_heap_goal_bytes"))
+	}
+	if s.Gauge("runtime_goroutines") < 1 {
+		t.Fatalf("goroutines = %d", s.Gauge("runtime_goroutines"))
+	}
+	if s.Counter("runtime_gc_cycles_total") < 2 {
+		t.Fatalf("gc cycles = %d", s.Counter("runtime_gc_cycles_total"))
+	}
+	if h := s.Histograms["runtime_gc_pause_ns"]; h.Count < 1 {
+		t.Fatalf("gc pause histogram empty: %+v", h)
+	}
+	// Histogram families must also exist in the exposition output.
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, fam := range []string{
+		"runtime_heap_live_bytes", "runtime_heap_goal_bytes", "runtime_goroutines",
+		"runtime_gc_cycles_total", "runtime_gc_pause_ns", "runtime_sched_latency_ns",
+	} {
+		if !strings.Contains(b.String(), "# TYPE "+fam+" ") {
+			t.Fatalf("family %s missing from /metrics output", fam)
+		}
+	}
+}
+
+// TestRuntimeDeltaFolding verifies the cumulative-to-delta conversion:
+// a second Poll only adds the GC activity that happened in between, so
+// the histogram and cycle counter grow by the interval's work, not by
+// the process lifetime again.
+func TestRuntimeDeltaFolding(t *testing.T) {
+	r := New()
+	c := NewRuntimeCollector(r)
+	runtime.GC()
+	c.Poll()
+	cycles1 := r.Snapshot().Counter("runtime_gc_cycles_total")
+	count1 := r.Snapshot().Histograms["runtime_gc_pause_ns"].Count
+
+	runtime.GC()
+	c.Poll()
+	s := r.Snapshot()
+	cycles2 := s.Counter("runtime_gc_cycles_total")
+	count2 := s.Histograms["runtime_gc_pause_ns"].Count
+	if d := cycles2 - cycles1; d < 1 || d > 4 {
+		t.Fatalf("cycle delta = %d (cumulative re-count?)", d)
+	}
+	if count2 < count1 {
+		t.Fatalf("pause count moved backwards: %d -> %d", count1, count2)
+	}
+	// An idle Poll must not re-add history.
+	c.Poll()
+	if got := r.Snapshot().Counter("runtime_gc_cycles_total"); got < cycles2 || got > cycles2+1 {
+		t.Fatalf("idle poll changed cycles %d -> %d", cycles2, got)
+	}
+}
+
+// TestRuntimeStartStop exercises the ticker path end to end: StartRuntime
+// polls at its floor interval and Stop performs the final collection.
+func TestRuntimeStartStop(t *testing.T) {
+	r := New()
+	c := StartRuntime(r, time.Millisecond) // clamped to the 100ms floor
+	if c == nil {
+		t.Fatal("collector did not start")
+	}
+	c.Stop() // final Poll runs even if the ticker never fired
+	c.Stop() // idempotent
+	if r.Snapshot().Gauge("runtime_goroutines") < 1 {
+		t.Fatal("Stop's final poll did not populate the registry")
+	}
+}
+
+// TestObserveN pins the bulk-observe used by histogram folding: count
+// and sum both scale with n, and non-positive n or a nil histogram are
+// no-ops.
+func TestObserveN(t *testing.T) {
+	r := New()
+	h := r.Histogram("fold_ns")
+	h.ObserveN(100, 3)
+	h.ObserveN(-5, 2) // clamps to 0, still 2 observations
+	h.ObserveN(7, 0)  // no-op
+	h.ObserveN(7, -1) // no-op
+	s := r.Snapshot().Histograms["fold_ns"]
+	if s.Count != 5 || s.Sum != 300 {
+		t.Fatalf("count=%d sum=%d, want 5/300", s.Count, s.Sum)
+	}
+	var nilH *Histogram
+	nilH.ObserveN(1, 1) // must not panic
+}

@@ -150,7 +150,14 @@ type TreeOptions struct {
 // parent was dropped are promoted to roots. A trailing "dropped N spans"
 // line reports buffer overflow.
 func (t *Tracer) WriteTree(w io.Writer, opt TreeOptions) error {
-	spans := t.snapshot()
+	return writeSpanTree(w, t.snapshot(), t.Dropped(), opt, "")
+}
+
+// writeSpanTree renders a (start, id)-sorted span slice as the indented
+// tree WriteTree documents, prefixing every line with indent. It is
+// shared between whole-tracer dumps and the flight recorder's per-request
+// renderings (which operate on copied span slices, see flight.go).
+func writeSpanTree(w io.Writer, spans []span, dropped int64, opt TreeOptions, indent string) error {
 	index := make(map[uint64]int, len(spans))
 	for i, sp := range spans {
 		index[sp.id] = i
@@ -164,11 +171,12 @@ func (t *Tracer) WriteTree(w io.Writer, opt TreeOptions) error {
 			roots = append(roots, i)
 		}
 	}
-	// snapshot order is already (start, id); appends preserve it.
+	// span order is already (start, id); appends preserve it.
 	var rec func(i, depth int) error
 	rec = func(i, depth int) error {
 		sp := spans[i]
 		var b strings.Builder
+		b.WriteString(indent)
 		for d := 0; d < depth; d++ {
 			b.WriteString("  ")
 		}
@@ -206,12 +214,23 @@ func (t *Tracer) WriteTree(w io.Writer, opt TreeOptions) error {
 			return err
 		}
 	}
-	if d := t.Dropped(); d > 0 {
-		if _, err := fmt.Fprintf(w, "dropped %d spans\n", d); err != nil {
+	if dropped > 0 {
+		if _, err := fmt.Fprintf(w, "%sdropped %d spans\n", indent, dropped); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// sortSpans orders a span slice by (start, id), the canonical export
+// order snapshot produces.
+func sortSpans(spans []span) {
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].start != spans[j].start {
+			return spans[i].start < spans[j].start
+		}
+		return spans[i].id < spans[j].id
+	})
 }
 
 // Tree returns WriteTree's output as a string (test convenience).

@@ -1,0 +1,416 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Flight is a tail-based request flight recorder: every request records a
+// full span tree into a pooled per-request Tracer, and the tree is kept
+// only when the finished request turns out interesting — slower than the
+// configured threshold, or ended with a non-2xx status. Retained trees
+// live in a fixed-capacity ring buffer (newest evicts oldest), so the
+// recorder answers "what did the last N slow or failed requests actually
+// do?" without sampling up front or retaining the fast steady state.
+//
+// The recorder follows the package's off-by-default contract: a nil
+// *Flight no-ops every method at one predictable branch, and the zero
+// FlightReq / Span values returned through a nil recorder are themselves
+// no-ops, so the serving path instruments itself unconditionally.
+// Recording is allocation-free in steady state: per-request tracers are
+// pooled and reset, the ring's span storage is preallocated at
+// construction, and a commit copies spans into the evicted slot under a
+// short mutex. Only construction and export allocate.
+type Flight struct {
+	slowNS   int64
+	maxSpans int
+	pool     sync.Pool
+
+	mu   sync.Mutex
+	ring []record
+	seq  uint64 // total committed records; next slot = seq % len(ring)
+
+	total    atomic.Int64 // finished requests, captured or not
+	captured atomic.Int64
+}
+
+// record is one retained request: metadata plus a copy of its span tree.
+// The spans slice is preallocated to the recorder's MaxSpans and reused
+// across evictions.
+type record struct {
+	seq     uint64
+	method  string
+	path    string
+	query   string
+	code    int
+	epoch   uint64
+	wall    time.Time
+	durNS   int64
+	reason  string
+	spans   []span
+	dropped int64
+}
+
+// FlightConfig sizes a Flight. The zero value is usable: 64 retained
+// requests, 64 spans per request, 100ms slow threshold.
+type FlightConfig struct {
+	// Capacity is the number of retained requests (default 64).
+	Capacity int
+	// SlowThreshold is the duration at or above which a 2xx request is
+	// captured (default 100ms). Non-2xx requests are always captured.
+	SlowThreshold time.Duration
+	// MaxSpans bounds each request's span tree; spans beyond it are
+	// dropped and counted, exactly like a full Tracer (default 64,
+	// which is also the Tracer minimum).
+	MaxSpans int
+}
+
+// NewFlight builds a recorder. All ring storage is allocated here, so
+// the recording path never grows anything.
+func NewFlight(cfg FlightConfig) *Flight {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 64
+	}
+	if cfg.SlowThreshold <= 0 {
+		cfg.SlowThreshold = 100 * time.Millisecond
+	}
+	if cfg.MaxSpans <= 0 {
+		cfg.MaxSpans = 64
+	}
+	f := &Flight{
+		slowNS:   cfg.SlowThreshold.Nanoseconds(),
+		maxSpans: cfg.MaxSpans,
+		ring:     make([]record, cfg.Capacity),
+	}
+	for i := range f.ring {
+		f.ring[i].spans = make([]span, 0, cfg.MaxSpans)
+	}
+	f.pool.New = func() any {
+		return &FlightReq{t: New(cfg.MaxSpans)}
+	}
+	return f
+}
+
+// FlightReq is one in-flight request's recording state: a pooled tracer
+// plus the request metadata a retained record carries. Obtain with
+// StartRequest, finish exactly once with Finish. A nil *FlightReq (from a
+// nil recorder) no-ops every method.
+type FlightReq struct {
+	f      *Flight
+	t      *Tracer
+	method string
+	path   string
+	query  string
+	epoch  uint64
+	root   Span
+	start  time.Time
+	wall   time.Time
+}
+
+// StartRequest begins recording one request. Nil recorder returns nil,
+// which every FlightReq method (and the zero Spans it hands out)
+// tolerates.
+func (f *Flight) StartRequest(method, path, query string) *FlightReq {
+	if f == nil {
+		return nil
+	}
+	r := f.pool.Get().(*FlightReq)
+	r.f = f
+	r.t.Reset()
+	r.method = method
+	r.path = path
+	r.query = query
+	r.epoch = 0
+	r.root = Span{}
+	r.start = time.Now()
+	r.wall = r.start
+	return r
+}
+
+// Root opens the request's root span. Call once per request; children
+// attach via Span (or the returned handle's own Child/Fork).
+func (r *FlightReq) Root(name string) Span {
+	if r == nil {
+		return Span{}
+	}
+	r.root = r.t.Start(name)
+	return r.root
+}
+
+// Span opens a child of the request's root span on the same track (the
+// request is one logical lane; stages nest).
+func (r *FlightReq) Span(name string) Span {
+	if r == nil {
+		return Span{}
+	}
+	return r.root.Child(name)
+}
+
+// SetEpoch stamps the snapshot epoch that answered the request, so a
+// retained record is attributable to an exact served state.
+func (r *FlightReq) SetEpoch(epoch uint64) {
+	if r == nil {
+		return
+	}
+	r.epoch = epoch
+}
+
+// Finish ends the request: the root span is closed, the capture decision
+// is made (non-2xx status, or duration at or above the slow threshold),
+// and the FlightReq returns to the pool either way. Reports whether the
+// request was captured. The FlightReq must not be used after Finish.
+func (r *FlightReq) Finish(code int) bool {
+	if r == nil {
+		return false
+	}
+	r.root.End()
+	f := r.f
+	durNS := time.Since(r.start).Nanoseconds()
+	f.total.Add(1)
+	reason := ""
+	if code < 200 || code >= 300 {
+		reason = "error"
+	} else if durNS >= f.slowNS {
+		reason = "slow"
+	}
+	if reason != "" {
+		f.commit(r, code, durNS, reason)
+		f.captured.Add(1)
+	}
+	r.f = nil
+	f.pool.Put(r)
+	return reason != ""
+}
+
+// commit copies the request's spans into the ring slot it evicts. The
+// copy happens under the ring mutex, but the section is short (metadata
+// assignment plus one bounded memmove) and only runs for captured — by
+// definition rare — requests.
+func (f *Flight) commit(r *FlightReq, code int, durNS int64, reason string) {
+	n := r.t.Len()
+	f.mu.Lock()
+	slot := &f.ring[f.seq%uint64(len(f.ring))]
+	slot.seq = f.seq
+	f.seq++
+	slot.method = r.method
+	slot.path = r.path
+	slot.query = r.query
+	slot.code = code
+	slot.epoch = r.epoch
+	slot.wall = r.wall
+	slot.durNS = durNS
+	slot.reason = reason
+	slot.dropped = r.t.Dropped()
+	slot.spans = append(slot.spans[:0], r.t.spans[:n]...)
+	f.mu.Unlock()
+}
+
+// Total returns how many requests have finished under the recorder.
+func (f *Flight) Total() int64 {
+	if f == nil {
+		return 0
+	}
+	return f.total.Load()
+}
+
+// Captured returns how many finished requests were retained.
+func (f *Flight) Captured() int64 {
+	if f == nil {
+		return 0
+	}
+	return f.captured.Load()
+}
+
+// SlowThreshold returns the capture threshold.
+func (f *Flight) SlowThreshold() time.Duration {
+	if f == nil {
+		return 0
+	}
+	return time.Duration(f.slowNS)
+}
+
+// SpanRecord is one span of an exported request record. Parent indexes
+// the record's Spans slice (-1 for the root), so consumers rebuild the
+// tree without knowing tracer ids.
+type SpanRecord struct {
+	Name    string           `json:"name"`
+	Parent  int              `json:"parent"`
+	StartNS int64            `json:"start_ns"`
+	DurNS   int64            `json:"dur_ns"`
+	Attrs   map[string]int64 `json:"attrs,omitempty"`
+}
+
+// RequestRecord is one retained request as exported by Records and
+// WriteJSON. Spans are in (start, id) order — parents precede children.
+type RequestRecord struct {
+	Seq          uint64       `json:"seq"`
+	Method       string       `json:"method"`
+	Path         string       `json:"path"`
+	Query        string       `json:"query,omitempty"`
+	Code         int          `json:"code"`
+	Epoch        uint64       `json:"epoch,omitempty"`
+	Start        time.Time    `json:"start"`
+	DurationNS   int64        `json:"duration_ns"`
+	Reason       string       `json:"reason"`
+	DroppedSpans int64        `json:"dropped_spans,omitempty"`
+	Spans        []SpanRecord `json:"spans"`
+}
+
+// snapshotRecords copies the retained ring oldest-first. Each element's
+// span slice is a private copy, so callers own the result outright.
+func (f *Flight) snapshotRecords() []record {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := f.seq
+	cap64 := uint64(len(f.ring))
+	lo := uint64(0)
+	if n > cap64 {
+		lo = n - cap64
+	}
+	out := make([]record, 0, n-lo)
+	for s := lo; s < n; s++ {
+		rec := f.ring[s%cap64]
+		rec.spans = append([]span(nil), rec.spans...)
+		out = append(out, rec)
+	}
+	return out
+}
+
+// Records returns the retained requests, oldest first.
+func (f *Flight) Records() []RequestRecord {
+	if f == nil {
+		return nil
+	}
+	recs := f.snapshotRecords()
+	out := make([]RequestRecord, len(recs))
+	for i, rec := range recs {
+		out[i] = exportRecord(rec)
+	}
+	return out
+}
+
+func exportRecord(rec record) RequestRecord {
+	spans := rec.spans
+	live := spans[:0:0]
+	for _, sp := range spans {
+		if sp.id != 0 {
+			live = append(live, sp)
+		}
+	}
+	sortSpans(live)
+	index := make(map[uint64]int, len(live))
+	for i, sp := range live {
+		index[sp.id] = i
+	}
+	rr := RequestRecord{
+		Seq:          rec.seq,
+		Method:       rec.method,
+		Path:         rec.path,
+		Query:        rec.query,
+		Code:         rec.code,
+		Epoch:        rec.epoch,
+		Start:        rec.wall,
+		DurationNS:   rec.durNS,
+		Reason:       rec.reason,
+		DroppedSpans: rec.dropped,
+		Spans:        make([]SpanRecord, len(live)),
+	}
+	for i, sp := range live {
+		sr := SpanRecord{Name: sp.name, Parent: -1, StartNS: sp.start, DurNS: sp.dur}
+		if p, ok := index[sp.parent]; ok && sp.parent != 0 {
+			sr.Parent = p
+		}
+		if sp.nattrs > 0 {
+			sr.Attrs = make(map[string]int64, sp.nattrs)
+			for a := int32(0); a < sp.nattrs; a++ {
+				sr.Attrs[sp.attrs[a].key] = sp.attrs[a].val
+			}
+		}
+		rr.Spans[i] = sr
+	}
+	return rr
+}
+
+// flightJSON is the WriteJSON envelope.
+type flightJSON struct {
+	Captured        int64           `json:"captured"`
+	Total           int64           `json:"total"`
+	SlowThresholdNS int64           `json:"slow_threshold_ns"`
+	Records         []RequestRecord `json:"records"`
+}
+
+// WriteJSON renders the retained requests (oldest first) inside an
+// envelope carrying the capture counters and threshold.
+func (f *Flight) WriteJSON(w io.Writer) error {
+	if f == nil {
+		return json.NewEncoder(w).Encode(flightJSON{Records: []RequestRecord{}})
+	}
+	env := flightJSON{
+		Captured:        f.Captured(),
+		Total:           f.Total(),
+		SlowThresholdNS: f.slowNS,
+		Records:         f.Records(),
+	}
+	if env.Records == nil {
+		env.Records = []RequestRecord{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(env)
+}
+
+// WriteText renders the retained requests as a deterministic text page in
+// the style of x/net/trace: a header with the capture counters, then one
+// block per request (oldest first) with its indented span tree. With
+// opt.Durations off the output is a pure function of the request
+// sequence — no timestamps, no durations — which is what the golden test
+// pins.
+func (f *Flight) WriteText(w io.Writer, opt TreeOptions) error {
+	if f == nil {
+		_, err := io.WriteString(w, "flight recorder disabled\n")
+		return err
+	}
+	recs := f.snapshotRecords()
+	if opt.Durations {
+		if _, err := fmt.Fprintf(w, "flight recorder: %d captured / %d finished (threshold %v, capacity %d)\n",
+			f.Captured(), f.Total(), time.Duration(f.slowNS), len(f.ring)); err != nil {
+			return err
+		}
+	} else {
+		if _, err := fmt.Fprintf(w, "flight recorder: %d captured (capacity %d)\n",
+			len(recs), len(f.ring)); err != nil {
+			return err
+		}
+	}
+	for _, rec := range recs {
+		line := fmt.Sprintf("\n#%d %s %s", rec.seq, rec.method, rec.path)
+		if rec.query != "" {
+			line += "?" + rec.query
+		}
+		line += fmt.Sprintf(" code=%d reason=%s", rec.code, rec.reason)
+		if rec.epoch != 0 {
+			line += fmt.Sprintf(" epoch=%d", rec.epoch)
+		}
+		if opt.Durations {
+			line += fmt.Sprintf(" (%v)", time.Duration(rec.durNS).Round(time.Microsecond))
+		}
+		if _, err := io.WriteString(w, line+"\n"); err != nil {
+			return err
+		}
+		live := rec.spans[:0:0]
+		for _, sp := range rec.spans {
+			if sp.id != 0 {
+				live = append(live, sp)
+			}
+		}
+		sortSpans(live)
+		if err := writeSpanTree(w, live, rec.dropped, opt, "  "); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,289 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// finishRequest records a small fixed span tree under the recorder and
+// finishes with the given status code.
+func finishRequest(f *Flight, method, path string, code int) bool {
+	r := f.StartRequest(method, path, "")
+	r.Root("serve.test")
+	r.SetEpoch(3)
+	s := r.Span("stage")
+	s.Attr("items", 7)
+	s.End()
+	return r.Finish(code)
+}
+
+// TestFlightNilSafety pins the off-by-default contract for the recorder:
+// a nil *Flight and the nil *FlightReq it hands out must no-op every
+// method, and the zero Spans flowing out of them are themselves no-ops.
+func TestFlightNilSafety(t *testing.T) {
+	var f *Flight
+	r := f.StartRequest("GET", "/x", "")
+	if r != nil {
+		t.Fatal("nil recorder returned a live request")
+	}
+	root := r.Root("root")
+	if root.Active() {
+		t.Fatal("nil request produced an active span")
+	}
+	r.Span("child").End()
+	r.SetEpoch(1)
+	if r.Finish(500) {
+		t.Fatal("nil request captured")
+	}
+	if f.Total() != 0 || f.Captured() != 0 || f.SlowThreshold() != 0 {
+		t.Fatal("nil recorder counted")
+	}
+	if f.Records() != nil {
+		t.Fatal("nil recorder has records")
+	}
+	var b bytes.Buffer
+	if err := f.WriteText(&b, TreeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.String(); got != "flight recorder disabled\n" {
+		t.Fatalf("nil text = %q", got)
+	}
+	b.Reset()
+	if err := f.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var env struct {
+		Records []RequestRecord `json:"records"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	if len(env.Records) != 0 {
+		t.Fatal("nil recorder exported records")
+	}
+}
+
+// TestFlightCaptureDecision pins the tail-based policy: non-2xx is always
+// retained (reason "error"), 2xx is retained only at or above the slow
+// threshold (reason "slow"), and fast successes leave no trace.
+func TestFlightCaptureDecision(t *testing.T) {
+	f := NewFlight(FlightConfig{Capacity: 8, SlowThreshold: time.Hour})
+	if finishRequest(f, "GET", "/v1/risk", 200) {
+		t.Fatal("fast 200 captured")
+	}
+	if !finishRequest(f, "POST", "/v1/dehin", 400) {
+		t.Fatal("400 not captured")
+	}
+	if !finishRequest(f, "GET", "/v1/risk", 503) {
+		t.Fatal("503 not captured")
+	}
+	if f.Total() != 3 || f.Captured() != 2 {
+		t.Fatalf("total=%d captured=%d", f.Total(), f.Captured())
+	}
+	recs := f.Records()
+	if len(recs) != 2 {
+		t.Fatalf("%d records", len(recs))
+	}
+	if recs[0].Code != 400 || recs[0].Reason != "error" || recs[0].Method != "POST" {
+		t.Fatalf("record 0 = %+v", recs[0])
+	}
+	if recs[1].Code != 503 || recs[1].Reason != "error" {
+		t.Fatalf("record 1 = %+v", recs[1])
+	}
+
+	// With a 1ns threshold every finished 2xx qualifies as slow.
+	slow := NewFlight(FlightConfig{Capacity: 8, SlowThreshold: time.Nanosecond})
+	if !finishRequest(slow, "GET", "/v1/topk", 200) {
+		t.Fatal("1ns-threshold 200 not captured")
+	}
+	if got := slow.Records()[0].Reason; got != "slow" {
+		t.Fatalf("reason = %q", got)
+	}
+}
+
+// TestFlightRingWrap fills a small ring far past capacity and checks the
+// newest-evicts-oldest policy: exactly the last Capacity records survive,
+// oldest first, with consecutive sequence numbers.
+func TestFlightRingWrap(t *testing.T) {
+	f := NewFlight(FlightConfig{Capacity: 4, SlowThreshold: time.Hour})
+	for i := 0; i < 11; i++ {
+		finishRequest(f, "GET", "/v1/risk", 500)
+	}
+	recs := f.Records()
+	if len(recs) != 4 {
+		t.Fatalf("%d records after wrap", len(recs))
+	}
+	for i, rec := range recs {
+		if rec.Seq != uint64(7+i) {
+			t.Fatalf("record %d seq = %d, want %d", i, rec.Seq, 7+i)
+		}
+	}
+	if f.Captured() != 11 {
+		t.Fatalf("captured = %d", f.Captured())
+	}
+}
+
+// TestFlightSpanTreeExport checks that a retained record carries the
+// complete span tree: root first, children indexed by Parent, attributes
+// and epoch intact.
+func TestFlightSpanTreeExport(t *testing.T) {
+	f := NewFlight(FlightConfig{Capacity: 4, SlowThreshold: time.Nanosecond})
+	r := f.StartRequest("POST", "/v1/dehin", "k=1")
+	root := r.Root("serve.dehin")
+	r.SetEpoch(9)
+	d := r.Span("decode")
+	d.End()
+	a := r.Span("attack")
+	a.Attr("candidates", 3)
+	inner := a.Child("neighbor_match")
+	inner.Attr("pruned", 12)
+	inner.End()
+	a.End()
+	root.Attr("code", 200)
+	if !r.Finish(200) {
+		t.Fatal("not captured")
+	}
+
+	recs := f.Records()
+	rec := recs[len(recs)-1]
+	if rec.Path != "/v1/dehin" || rec.Query != "k=1" || rec.Epoch != 9 || rec.DurationNS < 0 {
+		t.Fatalf("record = %+v", rec)
+	}
+	names := make([]string, len(rec.Spans))
+	for i, sp := range rec.Spans {
+		names[i] = sp.Name
+	}
+	want := []string{"serve.dehin", "decode", "attack", "neighbor_match"}
+	if strings.Join(names, " ") != strings.Join(want, " ") {
+		t.Fatalf("span order = %v, want %v", names, want)
+	}
+	if rec.Spans[0].Parent != -1 {
+		t.Fatalf("root parent = %d", rec.Spans[0].Parent)
+	}
+	if rec.Spans[1].Parent != 0 || rec.Spans[2].Parent != 0 {
+		t.Fatalf("stage parents = %d, %d", rec.Spans[1].Parent, rec.Spans[2].Parent)
+	}
+	if rec.Spans[3].Parent != 2 {
+		t.Fatalf("neighbor_match parent = %d", rec.Spans[3].Parent)
+	}
+	if rec.Spans[0].Attrs["code"] != 200 || rec.Spans[2].Attrs["candidates"] != 3 || rec.Spans[3].Attrs["pruned"] != 12 {
+		t.Fatalf("attrs lost: %+v", rec.Spans)
+	}
+	for _, sp := range rec.Spans {
+		if sp.DurNS < 0 {
+			t.Fatalf("span %s still open in export", sp.Name)
+		}
+	}
+}
+
+// TestFlightPoolReuse drives many requests through a capacity-1 pool
+// cycle and checks that a reused tracer never leaks the previous
+// request's spans into the next record.
+func TestFlightPoolReuse(t *testing.T) {
+	f := NewFlight(FlightConfig{Capacity: 2, SlowThreshold: time.Nanosecond, MaxSpans: 64})
+	// First request: a wide tree.
+	r := f.StartRequest("GET", "/wide", "")
+	r.Root("serve.wide")
+	for i := 0; i < 10; i++ {
+		r.Span("stage").End()
+	}
+	r.Finish(200)
+	// Second request (same pooled tracer): two spans only.
+	r = f.StartRequest("GET", "/narrow", "")
+	r.Root("serve.narrow")
+	r.Span("only").End()
+	r.Finish(200)
+
+	recs := f.Records()
+	last := recs[len(recs)-1]
+	if last.Path != "/narrow" || len(last.Spans) != 2 {
+		t.Fatalf("reused tracer leaked spans: %+v", last)
+	}
+	if last.Spans[0].Name != "serve.narrow" || last.Spans[1].Name != "only" {
+		t.Fatalf("span names = %v", last.Spans)
+	}
+}
+
+// TestFlightSteadyStateAllocs pins the allocation-free recording path for
+// both outcomes: a fast success (pool get/put only) and a captured
+// request (commit copies into preallocated ring storage).
+func TestFlightSteadyStateAllocs(t *testing.T) {
+	fast := NewFlight(FlightConfig{Capacity: 8, SlowThreshold: time.Hour})
+	finishRequest(fast, "GET", "/v1/risk", 200) // warm the pool
+	if got := testing.AllocsPerRun(500, func() {
+		finishRequest(fast, "GET", "/v1/risk", 200)
+	}); got != 0 {
+		t.Fatalf("uncaptured request allocates %.1f/op", got)
+	}
+	hot := NewFlight(FlightConfig{Capacity: 8, SlowThreshold: time.Nanosecond})
+	finishRequest(hot, "GET", "/v1/risk", 200)
+	if got := testing.AllocsPerRun(500, func() {
+		finishRequest(hot, "GET", "/v1/risk", 200)
+	}); got != 0 {
+		t.Fatalf("captured request allocates %.1f/op", got)
+	}
+}
+
+// TestFlightWriteText pins the deterministic structure-only text format:
+// header with the retained count, one block per record with the indented
+// span tree, no timestamps or durations anywhere.
+func TestFlightWriteText(t *testing.T) {
+	f := NewFlight(FlightConfig{Capacity: 4, SlowThreshold: time.Hour})
+	finishRequest(f, "POST", "/v1/dehin", 400)
+	r := f.StartRequest("GET", "/v1/risk", "user=5")
+	r.Root("serve.risk")
+	r.SetEpoch(2)
+	r.Finish(503)
+
+	var b bytes.Buffer
+	if err := f.WriteText(&b, TreeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"flight recorder: 2 captured (capacity 4)",
+		"",
+		"#0 POST /v1/dehin code=400 reason=error epoch=3",
+		"  serve.test",
+		"    stage [items=7]",
+		"",
+		"#1 GET /v1/risk?user=5 code=503 reason=error epoch=2",
+		"  serve.risk",
+		"",
+	}, "\n")
+	if got := b.String(); got != want {
+		t.Fatalf("text mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	// With durations on, every request line gains a parenthesized time
+	// and the header reports the live counters.
+	b.Reset()
+	if err := f.WriteText(&b, TreeOptions{Durations: true}); err != nil {
+		t.Fatal(err)
+	}
+	head, _, _ := strings.Cut(b.String(), "\n")
+	if !strings.Contains(head, "2 captured / 2 finished") {
+		t.Fatalf("durations header = %q", head)
+	}
+}
+
+// TestFlightWriteJSON round-trips the JSON envelope.
+func TestFlightWriteJSON(t *testing.T) {
+	f := NewFlight(FlightConfig{Capacity: 4, SlowThreshold: time.Hour})
+	finishRequest(f, "GET", "/v1/risk", 500)
+	var b bytes.Buffer
+	if err := f.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var env flightJSON
+	if err := json.Unmarshal(b.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Captured != 1 || env.Total != 1 || env.SlowThresholdNS != time.Hour.Nanoseconds() {
+		t.Fatalf("envelope = %+v", env)
+	}
+	if len(env.Records) != 1 || env.Records[0].Code != 500 || len(env.Records[0].Spans) != 2 {
+		t.Fatalf("records = %+v", env.Records)
+	}
+}

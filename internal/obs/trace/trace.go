@@ -243,3 +243,29 @@ func (t *Tracer) Dropped() int64 {
 	}
 	return t.dropped.Load()
 }
+
+// Reset discards every recorded span and re-stamps the tracer's time
+// origin, making the buffer reusable without reallocation. It is meant
+// for pooled per-request tracers (see Flight): the caller must own the
+// tracer exclusively — no live Span handles, no concurrent recording —
+// because stale slot contents become unreachable only through the reset
+// counters, not through clearing. open re-stamps every field of a slot
+// it claims, so records from before the Reset can never leak into a
+// later snapshot.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.begin = time.Now()
+	t.next.Store(0)
+	t.tracks.Store(0)
+	t.dropped.Store(0)
+}
+
+// Cap returns the tracer's span capacity.
+func (t *Tracer) Cap() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.spans)
+}

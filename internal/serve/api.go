@@ -7,9 +7,11 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"github.com/hinpriv/dehin/internal/hin"
 	"github.com/hinpriv/dehin/internal/obs"
+	"github.com/hinpriv/dehin/internal/obs/trace"
 )
 
 // maxBodyBytes bounds any request body; snippet count limits are checked
@@ -119,7 +121,9 @@ func (s *Server) Register(mux *http.ServeMux) {
 	mux.HandleFunc("GET /v1/topk", s.handle("topk", s.handleTopK))
 	mux.HandleFunc("POST /v1/dehin", s.handle("dehin", s.handleDehin))
 	mux.HandleFunc("GET /v1/snapshot", s.handle("snapshot", s.handleSnapshot))
+	mux.HandleFunc("GET /v1/healthz", s.handle("healthz", s.handleHealthz))
 	mux.HandleFunc("POST /v1/reload", s.handle("reload", s.handleReload))
+	mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
 }
 
 // endpointMetrics are one endpoint's pre-resolved handles: registry
@@ -157,24 +161,54 @@ func (em endpointMetrics) observe(code int) {
 }
 
 // handle wraps an endpoint body with the cross-cutting concerns: request
-// body capping, latency histogram, status counters, a trace span, and
-// JSON encoding of whatever (status, body) the endpoint returns.
-func (s *Server) handle(name string, fn func(r *http.Request) (int, any)) http.HandlerFunc {
+// body capping, latency histogram, status counters, a trace span, the
+// flight recorder's per-request span tree, and JSON encoding of whatever
+// (status, body) the endpoint returns. The endpoint receives the request
+// plus its flight recording handle (nil when the recorder is off; every
+// method on it no-ops).
+func (s *Server) handle(name string, fn func(r *http.Request, fr *trace.FlightReq) (int, any)) http.HandlerFunc {
 	em := s.newEndpointMetrics(name)
 	spanName := "serve." + name
 	return func(w http.ResponseWriter, r *http.Request) {
 		tm := em.latency.Time()
 		sp := s.trace.Start(spanName)
+		fr := s.flight.StartRequest(r.Method, r.URL.Path, r.URL.RawQuery)
+		root := fr.Root(spanName)
 		if r.Body != nil {
 			r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 		}
-		code, body := fn(r)
+		code, body := fn(r, fr)
+		es := root.Child("encode")
 		writeJSON(w, code, body)
+		es.End()
+		root.Attr("code", int64(code))
 		sp.Attr("code", int64(code))
 		sp.End()
+		if fr.Finish(code) {
+			s.met.flightCap.Inc()
+		}
 		tm.Stop()
 		em.observe(code)
 	}
+}
+
+// handleDebugRequests serves the flight recorder's retained requests:
+// deterministic text by default (append ?durations=1 for wall times,
+// x/net/trace style), or the JSON export with ?format=json. 404 when no
+// recorder is configured, so scrapes can tell "off" from "empty".
+func (s *Server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
+	if s == nil || s.flight == nil {
+		http.Error(w, `{"error":"flight recorder disabled"}`, http.StatusNotFound)
+		return
+	}
+	q := r.URL.Query()
+	if q.Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		_ = s.flight.WriteJSON(w)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_ = s.flight.WriteText(w, trace.TreeOptions{Durations: q.Get("durations") == "1"})
 }
 
 func writeJSON(w http.ResponseWriter, code int, body any) {
@@ -216,12 +250,13 @@ func (s *Server) distanceParam(r *http.Request) (int, error) {
 	return d, nil
 }
 
-func (s *Server) handleRisk(r *http.Request) (int, any) {
+func (s *Server) handleRisk(r *http.Request, fr *trace.FlightReq) (int, any) {
 	sn, err := s.acquire()
 	if err != nil {
 		return http.StatusServiceUnavailable, errResponse{Error: err.Error()}
 	}
 	defer s.release(sn)
+	fr.SetEpoch(sn.epoch)
 
 	d, err := s.distanceParam(r)
 	if err != nil {
@@ -248,12 +283,13 @@ func (s *Server) handleRisk(r *http.Request) (int, any) {
 	}
 }
 
-func (s *Server) handleTopK(r *http.Request) (int, any) {
+func (s *Server) handleTopK(r *http.Request, fr *trace.FlightReq) (int, any) {
 	sn, err := s.acquire()
 	if err != nil {
 		return http.StatusServiceUnavailable, errResponse{Error: err.Error()}
 	}
 	defer s.release(sn)
+	fr.SetEpoch(sn.epoch)
 
 	d, err := s.distanceParam(r)
 	if err != nil {
@@ -288,13 +324,36 @@ func (s *Server) handleTopK(r *http.Request) (int, any) {
 	return http.StatusOK, resp
 }
 
-func (s *Server) handleSnapshot(r *http.Request) (int, any) {
+func (s *Server) handleSnapshot(r *http.Request, fr *trace.FlightReq) (int, any) {
 	sn, err := s.acquire()
 	if err != nil {
 		return http.StatusServiceUnavailable, errResponse{Error: err.Error()}
 	}
 	defer s.release(sn)
+	fr.SetEpoch(sn.epoch)
 	return http.StatusOK, s.snapshotInfo(sn)
+}
+
+// healthzResponse answers /v1/healthz: whether a snapshot is being
+// served, its epoch, and the snapshot's age in seconds. Load balancers
+// and hinload -wait-ready poll this; 503 until the first load lands.
+type healthzResponse struct {
+	Status string  `json:"status"`
+	Epoch  uint64  `json:"epoch,omitempty"`
+	AgeS   float64 `json:"age_s"`
+	Error  string  `json:"error,omitempty"`
+}
+
+func (s *Server) handleHealthz(r *http.Request, fr *trace.FlightReq) (int, any) {
+	sn, err := s.acquire()
+	if err != nil {
+		return http.StatusServiceUnavailable, healthzResponse{Status: "unavailable", Error: err.Error()}
+	}
+	defer s.release(sn)
+	fr.SetEpoch(sn.epoch)
+	age := time.Since(sn.loadedAt).Seconds()
+	s.met.snapAge.Set(int64(age))
+	return http.StatusOK, healthzResponse{Status: "ok", Epoch: sn.epoch, AgeS: age}
 }
 
 func (s *Server) snapshotInfo(sn *snapshot) snapshotResponse {
@@ -327,14 +386,17 @@ type reloadRequest struct {
 	Source string `json:"source"`
 }
 
-func (s *Server) handleReload(r *http.Request) (int, any) {
+func (s *Server) handleReload(r *http.Request, fr *trace.FlightReq) (int, any) {
 	var req reloadRequest
 	if r.ContentLength != 0 {
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			return http.StatusBadRequest, errResponse{Error: "malformed body: " + err.Error(), Epoch: s.Epoch()}
 		}
 	}
-	if err := s.Reload(req.Source); err != nil {
+	ls := fr.Span("load")
+	err := s.Reload(req.Source)
+	ls.End()
+	if err != nil {
 		return http.StatusInternalServerError, errResponse{Error: err.Error(), Epoch: s.Epoch()}
 	}
 	sn, err := s.acquire()
@@ -342,6 +404,7 @@ func (s *Server) handleReload(r *http.Request) (int, any) {
 		return http.StatusServiceUnavailable, errResponse{Error: err.Error()}
 	}
 	defer s.release(sn)
+	fr.SetEpoch(sn.epoch)
 	return http.StatusOK, s.snapshotInfo(sn)
 }
 
@@ -380,9 +443,12 @@ func (s *Server) admitAttack(ctx context.Context) (release func(), err error) {
 	}, nil
 }
 
-func (s *Server) handleDehin(r *http.Request) (int, any) {
+func (s *Server) handleDehin(r *http.Request, fr *trace.FlightReq) (int, any) {
 	var req dehinRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	ds := fr.Span("decode")
+	err := json.NewDecoder(r.Body).Decode(&req)
+	ds.End()
+	if err != nil {
 		return http.StatusBadRequest, errResponse{Error: "malformed body: " + err.Error(), Epoch: s.Epoch()}
 	}
 	if len(req.Entities) == 0 {
@@ -404,7 +470,9 @@ func (s *Server) handleDehin(r *http.Request) (int, any) {
 			Epoch: s.Epoch()}
 	}
 
+	as := fr.Span("admission")
 	release, err := s.admitAttack(r.Context())
+	as.End()
 	if err != nil {
 		if errors.Is(err, errAttackBusy) {
 			return http.StatusTooManyRequests, errResponse{Error: err.Error(), Epoch: s.Epoch()}
@@ -418,12 +486,18 @@ func (s *Server) handleDehin(r *http.Request) (int, any) {
 		return http.StatusServiceUnavailable, errResponse{Error: err.Error()}
 	}
 	defer s.release(sn)
+	fr.SetEpoch(sn.epoch)
 
+	ss := fr.Span("snippet")
 	target, err := buildSnippet(sn.g.Schema(), &req)
+	ss.End()
 	if err != nil {
 		return http.StatusBadRequest, errResponse{Error: err.Error(), Epoch: sn.epoch}
 	}
-	cands := sn.attack.Deanonymize(target, hin.EntityID(req.Target))
+	qs := fr.Span("attack")
+	cands := sn.attack.DeanonymizeSpan(target, hin.EntityID(req.Target), qs)
+	qs.Attr("candidates", int64(len(cands)))
+	qs.End()
 	resp := dehinResponse{
 		Epoch:      sn.epoch,
 		Candidates: len(cands),

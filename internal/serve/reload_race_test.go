@@ -10,8 +10,10 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"github.com/hinpriv/dehin/internal/hin"
+	"github.com/hinpriv/dehin/internal/obs/trace"
 )
 
 // TestReloadUnderFire is the RCU soak: reader goroutines hammer /v1/risk
@@ -34,7 +36,14 @@ func TestReloadUnderFire(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	s := New(testConfig())
+	// The flight recorder rides along at a 1ns threshold and a tiny ring:
+	// every request commits a capture, so the ring wraps constantly while
+	// readers race reloads — the recorder's pool/ring synchronization is
+	// part of what this soak checks under -race.
+	flight := trace.NewFlight(trace.FlightConfig{Capacity: 4, SlowThreshold: time.Nanosecond})
+	cfg := testConfig()
+	cfg.Flight = flight
+	s := New(cfg)
 	if err := s.Load(paths[0]); err != nil {
 		t.Fatal(err)
 	}
@@ -90,6 +99,13 @@ func TestReloadUnderFire(t *testing.T) {
 		if err := s.Reload(paths[(i+1)%2]); err != nil {
 			t.Errorf("reload %d: %v", i, err)
 		}
+		// Export mid-soak: snapshotRecords copies ring slots while
+		// commits race it, which -race must find unobjectionable.
+		for _, rec := range flight.Records() {
+			if rec.Path != "/v1/risk" || rec.Reason != "slow" || len(rec.Spans) == 0 {
+				t.Errorf("malformed mid-soak record: %+v", rec)
+			}
+		}
 	}
 	stop.Store(true)
 	wg.Wait()
@@ -99,6 +115,14 @@ func TestReloadUnderFire(t *testing.T) {
 	}
 	if requests.Load() == 0 {
 		t.Fatal("soak made no requests")
+	}
+	// At a 1ns threshold every 200 qualifies as slow, so the recorder
+	// must have seen and captured every request the soak made.
+	if flight.Captured() == 0 || flight.Captured() != flight.Total() {
+		t.Fatalf("flight captured %d of %d finished requests", flight.Captured(), flight.Total())
+	}
+	if flight.Captured() < requests.Load() {
+		t.Fatalf("flight finished %d < %d HTTP requests", flight.Captured(), requests.Load())
 	}
 	if got := s.Epoch(); got != reloads+1 {
 		t.Fatalf("final epoch = %d, want %d", got, reloads+1)

@@ -78,6 +78,14 @@ type Config struct {
 	Metrics *obs.Registry
 	Trace   *trace.Tracer
 	Log     *obs.Logger
+
+	// Flight, when non-nil, attaches the tail-based request flight
+	// recorder: every request records a span tree through admission
+	// control and into the attack, and requests slower than the
+	// recorder's threshold (or ending non-2xx) are retained for
+	// /debug/requests. Nil — the default — costs one predictable branch
+	// per request, like the rest of the obs surface.
+	Flight *trace.Flight
 }
 
 // withDefaults resolves zero limits to their documented defaults.
@@ -117,16 +125,19 @@ type serverMetrics struct {
 	inflight    *obs.Gauge
 	queueDepth  *obs.Gauge
 	rejected    *obs.Counter
+	snapAge     *obs.Gauge
+	flightCap   *obs.Counter
 }
 
 // Server serves risk and attack queries over the current snapshot.
 // Reads are lock-free; reloads serialize on a mutex that readers never
 // touch. Safe for concurrent use.
 type Server struct {
-	cfg   Config
-	log   *obs.Logger
-	met   serverMetrics
-	trace *trace.Tracer
+	cfg    Config
+	log    *obs.Logger
+	met    serverMetrics
+	trace  *trace.Tracer
+	flight *trace.Flight
 
 	cur    atomic.Pointer[snapshot]
 	epoch  atomic.Uint64 // last assigned epoch number
@@ -150,6 +161,7 @@ func New(cfg Config) *Server {
 		cfg:         cfg,
 		log:         cfg.Log,
 		trace:       cfg.Trace,
+		flight:      cfg.Flight,
 		attackSlots: make(chan struct{}, cfg.MaxAttackInFlight),
 	}
 	if m := cfg.Metrics; m != nil {
@@ -162,6 +174,8 @@ func New(cfg Config) *Server {
 			inflight:    m.Gauge("serve_attack_inflight"),
 			queueDepth:  m.Gauge("serve_attack_queue_depth"),
 			rejected:    m.Counter("serve_attack_rejected_total"),
+			snapAge:     m.Gauge("serve_snapshot_age_s"),
+			flightCap:   m.Counter("serve_flight_captured_total"),
 		}
 	}
 	return s

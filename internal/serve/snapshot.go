@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync/atomic"
+	"time"
 
 	"github.com/hinpriv/dehin/internal/dehin"
 	"github.com/hinpriv/dehin/internal/hin"
@@ -42,6 +43,10 @@ type snapshot struct {
 
 	attack *dehin.Attack
 	refs   atomic.Int64
+
+	// loadedAt is when the snapshot finished building; /v1/healthz
+	// reports the age and mirrors it into serve_snapshot_age_s.
+	loadedAt time.Time
 }
 
 // newSnapshot precomputes the served state for one graph. The signature
@@ -118,6 +123,7 @@ func newSnapshot(epoch uint64, source string, g hin.GraphBackend, file *hin.CSRF
 		return nil, fmt.Errorf("serve: attack: %w", err)
 	}
 	sn.attack = attack
+	sn.loadedAt = time.Now()
 	sn.refs.Store(1)
 	return sn, nil
 }
