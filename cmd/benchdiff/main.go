@@ -1,6 +1,9 @@
 // Command benchdiff compares two benchdump snapshots (see cmd/benchdump
 // and BENCH_*.json) and fails when a selected benchmark regressed: ns/op
-// worse than the tolerance, or any allocs/op increase at all. It is the
+// worse than the tolerance, or allocs/op growth beyond -alloc-tol percent
+// of the baseline. The alloc tolerance is proportional, so a zero-alloc
+// baseline always demands exactly zero - no percentage loosens the
+// zero-allocation guarantees. It is the
 // bench-regression gate `make verify` runs against the committed baseline,
 // keeping the repository's zero-allocation guarantees enforced instead of
 // documented.
@@ -37,6 +40,7 @@ func main() {
 		newPath = flag.String("new", "", "candidate snapshot (required)")
 		match   = flag.String("match", ".", "regexp selecting benchmark names to gate")
 		tol     = flag.Float64("tol", 15, "maximum allowed ns/op regression, percent")
+		aTol    = flag.Float64("alloc-tol", 0, "maximum allowed allocs/op growth, percent of baseline (0 = exact)")
 	)
 	flag.Parse()
 	if *oldPath == "" || *newPath == "" {
@@ -82,8 +86,8 @@ func main() {
 	}
 
 	failed := false
-	fmt.Printf("benchdiff: %s -> %s (tolerance %.0f%% ns/op, 0 allocs/op growth)\n",
-		*oldPath, *newPath, *tol)
+	fmt.Printf("benchdiff: %s -> %s (tolerance %.0f%% ns/op, %.0f%% allocs/op growth)\n",
+		*oldPath, *newPath, *tol, *aTol)
 	for _, name := range names {
 		nw, inNew := newM[name]
 		od, inOld := oldM[name]
@@ -105,7 +109,7 @@ func main() {
 			verdict = fmt.Sprintf("FAIL ns/op regression > %.0f%%", *tol)
 			failed = true
 		}
-		if nw.AllocsOp > od.AllocsOp {
+		if nw.AllocsOp > od.AllocsOp*(1+*aTol/100) {
 			verdict = fmt.Sprintf("FAIL allocs/op %.0f -> %.0f", od.AllocsOp, nw.AllocsOp)
 			failed = true
 		}

@@ -212,7 +212,7 @@ func inspectGraph(path string, workers int) error {
 	if err != nil {
 		return err
 	}
-	defer cf.Close()
+	defer cf.Close() //hin:allow errdrop -- read-only inspection: nothing to lose on a close failure
 	g := cf.Graph()
 	fmt.Printf("%s: %d entities, %d edges (loaded+validated in %v)\n",
 		path, g.NumEntities(), g.NumEdgesTotal(), time.Since(start).Round(time.Millisecond))

@@ -9,9 +9,12 @@
 //
 // Usage:
 //
-//	hinlint ./...                # lint the whole module (make lint)
-//	hinlint -json ./... > d.json # machine-readable diagnostics
-//	hinlint -checks              # list the analyzers and exit
+//	hinlint ./...                       # lint the whole module (make lint)
+//	hinlint -format=json ./... > d.json # machine-readable diagnostics
+//	hinlint -format=sarif ./... > d.sarif # SARIF 2.1.0 for code scanning
+//	hinlint -checks                     # list the analyzers and exit
+//
+// -json remains as an alias for -format=json.
 //
 // Diagnostics go to stdout as "file:line:col: [check] message", sorted and
 // with paths relative to the working directory, so output is stable for CI
@@ -37,10 +40,24 @@ var logger = obs.NewLogger(os.Stderr, slog.LevelInfo)
 
 func main() {
 	var (
-		jsonOut = flag.Bool("json", false, "emit diagnostics as a JSON array instead of text")
+		jsonOut = flag.Bool("json", false, "emit diagnostics as a JSON array (alias for -format=json)")
+		format  = flag.String("format", "", "output format: text (default), json, or sarif")
 		checks  = flag.Bool("checks", false, "list the analyzers and exit")
 	)
 	flag.Parse()
+	if *format == "" {
+		if *jsonOut {
+			*format = "json"
+		} else {
+			*format = "text"
+		}
+	}
+	switch *format {
+	case "text", "json", "sarif":
+	default:
+		logger.Error("unknown -format", "format", *format)
+		os.Exit(2)
+	}
 
 	if *checks {
 		for _, a := range lint.Analyzers() {
@@ -60,17 +77,20 @@ func main() {
 	}
 	diags := lint.Run(pkgs)
 
-	cwd, _ := os.Getwd()
-	if *jsonOut {
+	cwd, _ := os.Getwd() //hin:allow errdrop -- cwd only prettifies paths; empty on failure keeps them absolute
+	switch *format {
+	case "json":
 		fmt.Print(renderJSON(diags, cwd))
-	} else {
+	case "sarif":
+		fmt.Print(renderSARIF(diags, cwd))
+	default:
 		for _, d := range diags {
 			d.Pos.Filename = relPath(cwd, d.Pos.Filename)
 			fmt.Println(d)
 		}
 	}
 	if len(diags) > 0 {
-		if !*jsonOut {
+		if *format == "text" {
 			logger.Error("hinlint failed", "findings", len(diags))
 		}
 		os.Exit(1)

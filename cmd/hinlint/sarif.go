@@ -1,0 +1,116 @@
+package main
+
+import (
+	"encoding/json"
+	"path/filepath"
+
+	"github.com/hinpriv/dehin/internal/lint"
+)
+
+// toURI renders a (possibly relative) file path as a SARIF artifact URI:
+// forward slashes regardless of host separator.
+func toURI(path string) string { return filepath.ToSlash(path) }
+
+// SARIF 2.1.0 output (-format=sarif) for code-scanning upload: one run,
+// the analyzer catalogue as the tool's rule set, one error-level result
+// per diagnostic with a physical location. The structs mirror just the
+// slice of the spec the GitHub ingester consumes; unlike renderJSON's
+// hand-rolled emitter this one goes through encoding/json — the schema
+// is nested enough that explicit types plus Marshal document it better
+// than a string builder would.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+const sarifSchema = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+
+// renderSARIF emits the diagnostics as a SARIF 2.1.0 log. Paths are
+// relativized against cwd (forward slashes, per the spec's uri field),
+// and the results array is always present — an empty run is how a clean
+// tree uploads.
+func renderSARIF(diags []lint.Diagnostic, cwd string) string {
+	rules := make([]sarifRule, 0, len(lint.Analyzers())+1)
+	for _, a := range lint.Analyzers() {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+	}
+	rules = append(rules, sarifRule{ID: "directive", ShortDescription: sarifMessage{Text: "malformed //hin: directive"}})
+
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		results = append(results, sarifResult{
+			RuleID:  d.Check,
+			Level:   "error",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: toURI(relPath(cwd, d.Pos.Filename))},
+				Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+			}}},
+		})
+	}
+	log := sarifLog{
+		Schema:  sarifSchema,
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "hinlint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	out, err := json.MarshalIndent(log, "", "  ")
+	if err != nil {
+		// The structs contain only strings, ints, and slices; Marshal
+		// cannot fail on them.
+		panic(err)
+	}
+	return string(out) + "\n"
+}

@@ -174,7 +174,7 @@ func launchServer(cmdline string) (string, func(), error) {
 		stopped = true
 		cmd.Process.Signal(syscall.SIGTERM)
 		done := make(chan struct{})
-		go func() { cmd.Wait(); close(done) }()
+		go func() { cmd.Wait(); close(done) }() //hin:allow errdrop -- reaping at teardown: the exit status is irrelevant here
 		select {
 		case <-done:
 		case <-time.After(15 * time.Second):
@@ -197,7 +197,7 @@ func waitHealthy(base string, timeout time.Duration) error {
 		if err != nil {
 			last = err
 		} else {
-			io.Copy(io.Discard, resp.Body)
+			io.Copy(io.Discard, resp.Body) //hin:allow errdrop -- best-effort drain so the keep-alive connection is reusable
 			resp.Body.Close()
 			if resp.StatusCode == 200 {
 				return nil
@@ -239,7 +239,7 @@ func checkObsSurface(base string) error {
 	if err != nil {
 		return err
 	}
-	text, _ := io.ReadAll(resp.Body)
+	text, _ := io.ReadAll(resp.Body) //hin:allow errdrop -- diagnostic body: a partial read still improves the error message
 	resp.Body.Close()
 	if resp.StatusCode != 200 {
 		return fmt.Errorf("/metrics status %d", resp.StatusCode)
@@ -256,7 +256,7 @@ func checkObsSurface(base string) error {
 	if err != nil {
 		return err
 	}
-	body, _ := io.ReadAll(resp.Body)
+	body, _ := io.ReadAll(resp.Body) //hin:allow errdrop -- diagnostic body: a partial read still improves the error message
 	resp.Body.Close()
 	if resp.StatusCode != 200 {
 		return fmt.Errorf("/debug/requests status %d: %s", resp.StatusCode, body)
@@ -291,7 +291,7 @@ func probeSnapshot(base string) (users, maxDistance int, err error) {
 		return 0, 0, err
 	}
 	defer resp.Body.Close()
-	body, _ := io.ReadAll(resp.Body)
+	body, _ := io.ReadAll(resp.Body) //hin:allow errdrop -- diagnostic body: a partial read still improves the error message
 	if resp.StatusCode != 200 {
 		return 0, 0, fmt.Errorf("status %d: %s", resp.StatusCode, body)
 	}
@@ -466,6 +466,7 @@ func buildRequest(rng *randx.RNG, spec loadSpec, kind string) request {
 	case "snapshot":
 		return request{method: "GET", checkEpoch: spec.checkEpochs, url: spec.base + "/v1/snapshot"}
 	default: // dehin: a profile-only snippet with plausible t.qq-ish attrs
+		//hin:allow errdrop -- marshaling a literal map of strings and ints cannot fail
 		body, _ := json.Marshal(map[string]any{
 			"target": 0,
 			"entities": []map[string]any{{

@@ -164,20 +164,34 @@ func collectEndpoints(prev, cur obs.Snapshot) []endpointRow {
 // with interval QPS and latency quantiles, and the flight/GC counters.
 // dt is the interval in seconds; pass 0 (with an empty prev) for a
 // single absolute view, which prints totals instead of rates.
+// console funnels all render output through one choke point: hinstat
+// renders to a terminal (or a golden-test buffer), where a failed write
+// has no in-process remedy, so the error is dropped exactly once here.
+type console struct{ w io.Writer }
+
+func (c console) printf(format string, args ...any) {
+	_, _ = fmt.Fprintf(c.w, format, args...) //hin:allow errdrop -- terminal rendering: a console write failure has no in-process remedy
+}
+
+func (c console) println(args ...any) {
+	_, _ = fmt.Fprintln(c.w, args...) //hin:allow errdrop -- terminal rendering: a console write failure has no in-process remedy
+}
+
 func renderLive(w io.Writer, prev, cur obs.Snapshot, dt float64, h *health) {
+	c := console{w}
 	status, epoch := "?", int64(cur.Gauge("serve_epoch"))
 	if h != nil {
 		status = h.Status
 		epoch = int64(h.Epoch)
 	}
-	fmt.Fprintf(w, "hinriskd %s  epoch %d", status, epoch)
+	c.printf("hinriskd %s  epoch %d", status, epoch)
 	if h != nil {
-		fmt.Fprintf(w, "  snapshot age %s", (time.Duration(h.AgeS * float64(time.Second))).Round(time.Second))
+		c.printf("  snapshot age %s", (time.Duration(h.AgeS * float64(time.Second))).Round(time.Second))
 	}
-	fmt.Fprintf(w, "\nattack inflight %d  queue %d  rejected %d  flight captured %d\n",
+	c.printf("\nattack inflight %d  queue %d  rejected %d  flight captured %d\n",
 		cur.Gauge("serve_attack_inflight"), cur.Gauge("serve_attack_queue_depth"),
 		cur.Counter("serve_attack_rejected_total"), cur.Counter("serve_flight_captured_total"))
-	fmt.Fprintf(w, "goroutines %d  heap %s live / %s goal  gc cycles %d  gc pause p99 %s  sched p99 %s\n",
+	c.printf("goroutines %d  heap %s live / %s goal  gc cycles %d  gc pause p99 %s  sched p99 %s\n",
 		cur.Gauge("runtime_goroutines"),
 		fmtBytes(cur.Gauge("runtime_heap_live_bytes")), fmtBytes(cur.Gauge("runtime_heap_goal_bytes")),
 		cur.Counter("runtime_gc_cycles_total"),
@@ -186,21 +200,21 @@ func renderLive(w io.Writer, prev, cur obs.Snapshot, dt float64, h *health) {
 
 	rows := collectEndpoints(prev, cur)
 	if len(rows) == 0 {
-		fmt.Fprintln(w, "(no serve metrics yet)")
+		c.println("(no serve metrics yet)")
 		return
 	}
 	rate := "qps"
 	if dt <= 0 {
 		rate = "reqs"
 	}
-	fmt.Fprintf(w, "%-10s %10s %10s %10s %10s %6s %6s %6s %6s\n",
+	c.printf("%-10s %10s %10s %10s %10s %6s %6s %6s %6s\n",
 		"endpoint", rate, "p50", "p95", "p99", "2xx", "4xx", "429", "5xx")
 	for _, r := range rows {
 		rateCell := fmt.Sprintf("%d", r.requests)
 		if dt > 0 {
 			rateCell = fmt.Sprintf("%.1f", float64(r.requests)/dt)
 		}
-		fmt.Fprintf(w, "%-10s %10s %10s %10s %10s %6d %6d %6d %6d\n",
+		c.printf("%-10s %10s %10s %10s %10s %6d %6d %6d %6d\n",
 			r.name, rateCell,
 			fmtValue("_ns", r.lat.P50), fmtValue("_ns", r.lat.P95), fmtValue("_ns", r.lat.P99),
 			r.ok, r.clientErr, r.busy, r.serverErr)
@@ -213,37 +227,38 @@ func renderLive(w io.Writer, prev, cur obs.Snapshot, dt float64, h *health) {
 // snapshot show on their side with a "-" on the other. This is the
 // golden-tested surface behind `hinstat -diff a.json b.json`.
 func renderDiff(w io.Writer, a, b obs.Snapshot) {
-	fmt.Fprintln(w, "counters")
+	c := console{w}
+	c.println("counters")
 	for _, id := range unionKeys(a.Counters, b.Counters) {
 		family, _ := parseSeries(id)
 		av, aok := a.Counters[id]
 		bv, bok := b.Counters[id]
-		fmt.Fprintf(w, "  %-60s %12s -> %-12s %+d\n", id,
+		c.printf("  %-60s %12s -> %-12s %+d\n", id,
 			presentValue(family, av, aok), presentValue(family, bv, bok), bv-av)
 	}
-	fmt.Fprintln(w, "gauges")
+	c.println("gauges")
 	for _, id := range unionKeys(a.Gauges, b.Gauges) {
 		family, _ := parseSeries(id)
 		av, aok := a.Gauges[id]
 		bv, bok := b.Gauges[id]
-		fmt.Fprintf(w, "  %-60s %12s -> %-12s %+d\n", id,
+		c.printf("  %-60s %12s -> %-12s %+d\n", id,
 			presentValue(family, av, aok), presentValue(family, bv, bok), bv-av)
 	}
-	fmt.Fprintln(w, "histograms")
+	c.println("histograms")
 	for _, id := range unionKeys(a.Histograms, b.Histograms) {
 		family, _ := parseSeries(id)
 		ah := a.Histograms[id]
 		bh := b.Histograms[id]
 		d := diffHistogram(ah, bh)
-		fmt.Fprintf(w, "  %-60s count %d -> %d (%+d)  p50 %s -> %s  p99 %s -> %s",
+		c.printf("  %-60s count %d -> %d (%+d)  p50 %s -> %s  p99 %s -> %s",
 			id, ah.Count, bh.Count, bh.Count-ah.Count,
 			fmtValue(family, ah.P50), fmtValue(family, bh.P50),
 			fmtValue(family, ah.P99), fmtValue(family, bh.P99))
 		if d.Count > 0 {
-			fmt.Fprintf(w, "  interval p50 %s p99 %s",
+			c.printf("  interval p50 %s p99 %s",
 				fmtValue(family, d.P50), fmtValue(family, d.P99))
 		}
-		fmt.Fprintln(w)
+		c.println()
 	}
 }
 

@@ -38,7 +38,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	density, _ := hin.Density(release.Graph)
+	density, err := hin.Density(release.Graph)
+	if err != nil {
+		fatal(err)
+	}
 	fmt.Printf("released target:   %d users, density %.4f, IDs anonymized\n",
 		release.Graph.NumEntities(), density)
 

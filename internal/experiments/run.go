@@ -220,6 +220,7 @@ func RunAllTimed(sink io.Writer, p Params) ([]*Table, []ExperimentTiming, CacheS
 		return nil, nil, CacheStats{}, err
 	}
 	if sink != nil {
+		//hin:allow errdrop -- progress narration: a sink write failure must not abort the run
 		fmt.Fprintf(sink, "workbench ready: %d users, %d edges\n\n",
 			w.Dataset.Graph.NumEntities(), w.Dataset.Graph.NumEdgesTotal())
 	}
@@ -354,7 +355,7 @@ func RunAllTimed(sink io.Writer, p Params) ([]*Table, []ExperimentTiming, CacheS
 		}
 		out = append(out, r.tbl)
 		if sink != nil {
-			fmt.Fprintf(sink, "%s\n\n", r.tbl)
+			fmt.Fprintf(sink, "%s\n\n", r.tbl) //hin:allow errdrop -- progress narration: a sink write failure must not abort the run
 		}
 	}
 	if firstErr != nil {

@@ -569,7 +569,7 @@ func OpenCSRFileOpt(path string, opts CSRFileOptions) (*CSRFile, error) {
 	}
 	g, err := parseCSRFile(data, opts.Workers)
 	if err != nil {
-		unmap()
+		unmap() //hin:allow errdrop -- parse failure path: the parse error is the one worth surfacing
 		return nil, fmt.Errorf("hin: csr file %s: %w", path, err)
 	}
 	return &CSRFile{g: g, unmap: unmap}, nil

@@ -1,0 +1,227 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// ErrDrop flags silently discarded errors: a statement-level call whose
+// error result vanishes (expression statements, defers, go statements)
+// or an assignment that binds an error result to `_`. Test files never
+// reach the analyzer (the loader excludes them); deliberate drops carry
+// //hin:allow errdrop with the reason the error is unactionable.
+//
+// Exemptions, because their errors are documented unreachable or
+// pointless to check:
+//
+//   - fmt.Print/Printf/Println (stdout), and fmt.Fprint* when the
+//     writer is os.Stdout, os.Stderr, a *strings.Builder, or a
+//     *bytes.Buffer;
+//   - methods on strings.Builder and bytes.Buffer (Write* return a
+//     documented always-nil error);
+//   - hash.Hash writes (hash.Hash documents Write never errors).
+const checkErrDrop = "errdrop"
+
+var ErrDrop = &Analyzer{
+	Name: checkErrDrop,
+	Doc:  "error results may not be silently discarded (statement calls or _ assignment) outside //hin:allow errdrop",
+	Run:  runErrDrop,
+}
+
+func runErrDrop(p *Package, cfg *Config) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					out = append(out, checkDiscardedCall(p, cfg, call, "result of")...)
+				}
+			case *ast.DeferStmt:
+				out = append(out, checkDiscardedCall(p, cfg, n.Call, "deferred")...)
+			case *ast.GoStmt:
+				out = append(out, checkDiscardedCall(p, cfg, n.Call, "goroutine")...)
+			case *ast.AssignStmt:
+				out = append(out, checkBlankError(p, cfg, n)...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkDiscardedCall flags a call used as a bare statement when its
+// results include an error.
+func checkDiscardedCall(p *Package, cfg *Config, call *ast.CallExpr, how string) []Diagnostic {
+	idx := errorResults(p, call)
+	if len(idx) == 0 || exemptCall(p, cfg, call) {
+		return nil
+	}
+	return []Diagnostic{{
+		Pos:   p.Fset.Position(call.Pos()),
+		Check: checkErrDrop,
+		Message: fmt.Sprintf("%s %s discards its error; handle it or //hin:allow errdrop -- <reason>",
+			how, calleeLabel(p, call)),
+	}}
+}
+
+// checkBlankError flags `_` bound to an error result: both the
+// single-call tuple form `v, _ := f()` and direct `_ = errExpr`.
+func checkBlankError(p *Package, cfg *Config, as *ast.AssignStmt) []Diagnostic {
+	var out []Diagnostic
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || exemptCall(p, cfg, call) {
+			return nil
+		}
+		for _, i := range errorResults(p, call) {
+			if i < len(as.Lhs) && isBlank(as.Lhs[i]) {
+				out = append(out, Diagnostic{
+					Pos:   p.Fset.Position(as.Lhs[i].Pos()),
+					Check: checkErrDrop,
+					Message: fmt.Sprintf("error result of %s assigned to _; handle it or //hin:allow errdrop -- <reason>",
+						calleeLabel(p, call)),
+				})
+			}
+		}
+		return out
+	}
+	for i, lhs := range as.Lhs {
+		if !isBlank(lhs) || i >= len(as.Rhs) {
+			continue
+		}
+		rhs := as.Rhs[i]
+		tv, ok := p.Info.Types[rhs]
+		if !ok || tv.Type == nil || !isErrorType(tv.Type) {
+			continue
+		}
+		if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && exemptCall(p, cfg, call) {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Pos:     p.Fset.Position(lhs.Pos()),
+			Check:   checkErrDrop,
+			Message: "error assigned to _; handle it or //hin:allow errdrop -- <reason>",
+		})
+	}
+	return out
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// errorResults returns the indices of error-typed results in the call's
+// result tuple.
+func errorResults(p *Package, call *ast.CallExpr) []int {
+	tv, ok := p.Info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	if tv.IsType() {
+		return nil // conversion
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	var out []int
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isErrorType(sig.Results().At(i).Type()) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func calleeLabel(p *Package, call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return "call"
+}
+
+// exemptCall recognizes the always-nil-error families listed in the
+// analyzer doc.
+func exemptCall(p *Package, cfg *Config, call *ast.CallExpr) bool {
+	qname, recv := calleeQName(p.Info, call)
+	if qname == "" {
+		return false
+	}
+	for _, spec := range cfg.ErrDropExempt {
+		if qnameMatches(qname, spec) {
+			return true
+		}
+	}
+	switch qname {
+	case "fmt:Print", "fmt:Printf", "fmt:Println":
+		return true
+	case "fmt:Fprint", "fmt:Fprintf", "fmt:Fprintln":
+		return len(call.Args) > 0 && safeWriter(p, call.Args[0])
+	}
+	switch qname {
+	case "strings:Builder.Write", "strings:Builder.WriteString",
+		"strings:Builder.WriteByte", "strings:Builder.WriteRune",
+		"bytes:Buffer.Write", "bytes:Buffer.WriteString",
+		"bytes:Buffer.WriteByte", "bytes:Buffer.WriteRune":
+		return true
+	}
+	// hash.Hash documents that Write never returns an error.
+	if recv != nil {
+		if tv, ok := p.Info.Types[recv]; ok && tv.Type != nil && implementsHash(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// safeWriter reports whether the Fprint destination cannot fail:
+// os.Stdout/os.Stderr (process streams; a failed write there has no
+// in-process remedy), *strings.Builder, or *bytes.Buffer.
+func safeWriter(p *Package, e ast.Expr) bool {
+	if sel, ok := ast.Unparen(e).(*ast.SelectorExpr); ok {
+		if obj, ok := p.Info.Uses[sel.Sel].(*types.Var); ok && obj.Pkg() != nil &&
+			obj.Pkg().Path() == "os" && (obj.Name() == "Stdout" || obj.Name() == "Stderr") {
+			return true
+		}
+	}
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil {
+		full := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+		return full == "strings.Builder" || full == "bytes.Buffer"
+	}
+	return false
+}
+
+// implementsHash reports whether the type is hash.Hash-shaped: an
+// io.Writer that also has Sum/Reset/Size/BlockSize. Checked
+// structurally so crc32/crc64/fnv digests all match without importing
+// their unexported types.
+func implementsHash(t types.Type) bool {
+	need := map[string]bool{"Write": false, "Sum": false, "Reset": false, "Size": false, "BlockSize": false}
+	ms := types.NewMethodSet(t)
+	for i := 0; i < ms.Len(); i++ {
+		name := ms.At(i).Obj().Name()
+		if _, ok := need[name]; ok {
+			need[name] = true
+		}
+	}
+	for _, ok := range need {
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,179 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// GoLeak requires every `go` statement to have a reachable join in the
+// same function: a sync.WaitGroup.Wait, a channel receive (unary <-,
+// range over a channel, or a select receive arm — select arms are
+// separate CFG blocks, so plain receive detection covers them), or a
+// deferred join. A goroutine with no join either outlives the function
+// for a reason — then it carries //hin:allow goleak with that reason —
+// or it is a leak: under server load ("millions of users") unjoined
+// goroutines are the canonical slow death.
+//
+// Reachability is CFG-based, not lexical: a Wait that is syntactically
+// below the go statement but on a disjoint branch does not count, and a
+// Wait above it inside a shared loop does. Packages whose goroutines
+// are process-lifetime by design (the cmd/ binaries) are exempted via
+// Config.GoExemptPkgs.
+const checkGoLeak = "goleak"
+
+var GoLeak = &Analyzer{
+	Name: checkGoLeak,
+	Doc:  "every go statement needs a reachable join (WaitGroup.Wait or channel receive) in the same function, or //hin:allow goleak",
+	Run:  runGoLeak,
+}
+
+func runGoLeak(p *Package, cfg *Config) []Diagnostic {
+	if matchSegment(p.Path, cfg.GoExemptPkgs) {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range p.Files {
+		for _, sc := range funcScopes(f) {
+			out = append(out, goLeakScope(p, sc)...)
+		}
+	}
+	return out
+}
+
+// matchSegment reports whether any entry appears as a complete path
+// segment of the import path ("cmd" matches ".../cmd/hinriskd").
+func matchSegment(path string, entries []string) bool {
+	for _, e := range entries {
+		if strings.Contains("/"+path+"/", "/"+e+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func goLeakScope(p *Package, sc funcScope) []Diagnostic {
+	// Cheap pre-pass: no go statements in this scope (nested literals
+	// are their own scopes), no CFG needed.
+	hasGo := false
+	ast.Inspect(sc.body, func(n ast.Node) bool {
+		if hasGo {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if _, ok := n.(*ast.GoStmt); ok {
+			hasGo = true
+			return false
+		}
+		return true
+	})
+	if !hasGo {
+		return nil
+	}
+
+	c := buildCFG(sc.body, p.Info)
+	// A deferred join runs on every exit, so it joins every goroutine in
+	// the scope regardless of position.
+	deferredJoin := false
+	for _, b := range c.Blocks {
+		for _, s := range b.Stmts {
+			if ds, ok := s.(*ast.DeferStmt); ok && stmtContainsJoin(p.Info, ds) {
+				deferredJoin = true
+			}
+		}
+	}
+
+	var out []Diagnostic
+	for _, b := range c.Blocks {
+		for i, s := range b.Stmts {
+			gs, ok := s.(*ast.GoStmt)
+			if !ok {
+				continue
+			}
+			if deferredJoin || joinReachableAfter(p.Info, b, i) {
+				continue
+			}
+			out = append(out, Diagnostic{
+				Pos:   p.Fset.Position(gs.Pos()),
+				Check: checkGoLeak,
+				Message: fmt.Sprintf("goroutine started in %s has no reachable join (WaitGroup.Wait or channel receive); join it or //hin:allow goleak -- <reason>",
+					scopeName(sc)),
+			})
+		}
+	}
+	return out
+}
+
+// joinReachableAfter reports whether a join statement is reachable from
+// just after statement index i of block b.
+func joinReachableAfter(info *types.Info, b *Block, i int) bool {
+	for _, s := range b.Stmts[i+1:] {
+		if stmtContainsJoin(info, s) {
+			return true
+		}
+	}
+	for blk := range reachableFrom(b) {
+		if blk == b {
+			continue
+		}
+		for _, s := range blk.Stmts {
+			if stmtContainsJoin(info, s) {
+				return true
+			}
+		}
+	}
+	// b may be on a cycle that re-reaches it: then its earlier
+	// statements run again after the go statement.
+	for _, succ := range b.Succs {
+		if reachableFrom(succ)[b] {
+			for _, s := range b.Stmts[:i+1] {
+				if stmtContainsJoin(info, s) {
+					return true
+				}
+			}
+			break
+		}
+	}
+	return false
+}
+
+// stmtContainsJoin reports whether the statement (as it appears in a
+// block — container bodies excluded, func literals not entered) joins a
+// goroutine: WaitGroup.Wait, a unary receive, or ranging a channel.
+func stmtContainsJoin(info *types.Info, s ast.Stmt) bool {
+	if rs, ok := s.(*ast.RangeStmt); ok && isChannelType(info, rs.X) {
+		return true
+	}
+	found := false
+	shallowInspect(s, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				found = true
+				return false
+			}
+		case *ast.CallExpr:
+			if qname, _ := calleeQName(info, n); qname == "sync:WaitGroup.Wait" {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isChannelType(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isChan := tv.Type.Underlying().(*types.Chan)
+	return isChan
+}

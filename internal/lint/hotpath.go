@@ -59,7 +59,9 @@ func runHotPath(p *Package, cfg *Config) []Diagnostic {
 			}
 			w := &hotWalker{p: p, fn: fn, seen: make(map[token.Pos]bool)}
 			w.collectLocals()
+			w.buildFlow()
 			w.walkBody()
+			w.checkGotoLoops()
 			out = append(out, w.out...)
 		}
 	}
@@ -77,8 +79,101 @@ type hotWalker struct {
 	// objects: appending into these is the caller-buffer idiom.
 	params map[types.Object]bool
 	// inits maps each local variable to every expression assigned to it
-	// (nil entry for a zero-valued var declaration).
+	// (nil entry for a zero-valued var declaration). Fallback for
+	// positions outside the CFG (statements inside nested func literals).
 	inits map[types.Object][]ast.Expr
+
+	// Flow state (see cfg.go / dataflow.go): the function's CFG, the
+	// blocks that sit on a cycle, and per-statement reaching
+	// definitions for the flow-aware append classification.
+	cfg      *CFG
+	loops    map[*Block]bool
+	reach    map[ast.Stmt]reachFact
+	inBlocks []ast.Stmt // every statement placed in a block, for lookup
+	// loopExtents are the source ranges of lexical for/range statements,
+	// used to find cycle blocks that belong to no for/range (goto loops).
+	loopExtents [][2]token.Pos
+}
+
+// buildFlow constructs the function's CFG, cycle set, and reaching
+// definitions.
+func (w *hotWalker) buildFlow() {
+	w.cfg = buildCFG(w.fn.Body, w.p.Info)
+	w.loops = w.cfg.loopBlocks()
+	w.reach = reachingDefs(w.cfg, w.p.Info)
+	for _, b := range w.cfg.Blocks {
+		w.inBlocks = append(w.inBlocks, b.Stmts...)
+	}
+	ast.Inspect(w.fn.Body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			w.loopExtents = append(w.loopExtents, [2]token.Pos{n.Pos(), n.End()})
+		case *ast.FuncLit:
+			return false
+		}
+		return true
+	})
+}
+
+// loopIterates reports whether a lexical loop can actually run more
+// than once: some CFG block on a cycle holds a statement inside the
+// loop's extent. A loop whose body unconditionally breaks or returns
+// has no back edge and is exempt from the per-iteration checks.
+func (w *hotWalker) loopIterates(n ast.Node) bool {
+	for b := range w.loops {
+		for _, s := range b.Stmts {
+			if s.Pos() >= n.Pos() && s.End() <= n.End() {
+				return true
+			}
+		}
+		if b.Cond != nil && b.Cond.Pos() >= n.Pos() && b.Cond.End() <= n.End() {
+			return true
+		}
+	}
+	return false
+}
+
+// checkGotoLoops applies the per-iteration string-concat check to cycle
+// blocks that belong to no for/range statement — loops formed by goto,
+// invisible to the lexical walk.
+func (w *hotWalker) checkGotoLoops() {
+	inExtent := func(pos token.Pos) bool {
+		for _, ext := range w.loopExtents {
+			if pos >= ext[0] && pos < ext[1] {
+				return true
+			}
+		}
+		return false
+	}
+	for b := range w.loops {
+		for _, s := range b.Stmts {
+			if inExtent(s.Pos()) {
+				continue
+			}
+			shallowInspect(s, func(n ast.Node) bool {
+				if be, ok := n.(*ast.BinaryExpr); ok {
+					w.checkConcat(be)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// enclosingStmt finds the innermost block-placed statement covering a
+// position, for reaching-definition lookups. Nil when the position is
+// outside the CFG (inside a nested func literal).
+func (w *hotWalker) enclosingStmt(pos token.Pos) ast.Stmt {
+	var best ast.Stmt
+	for _, s := range w.inBlocks {
+		if pos < s.Pos() || pos >= s.End() {
+			continue
+		}
+		if best == nil || (s.Pos() >= best.Pos() && s.End() <= best.End()) {
+			best = s
+		}
+	}
+	return best
 }
 
 func (w *hotWalker) report(n ast.Node, format string, args ...any) {
@@ -197,9 +292,13 @@ func (w *hotWalker) walkBody() {
 				}
 			}
 		case *ast.ForStmt:
-			w.checkLoop(n.Body, loopVarObjs(w.p, n.Init))
+			if w.loopIterates(n) {
+				w.checkLoop(n.Body, loopVarObjs(w.p, n.Init))
+			}
 		case *ast.RangeStmt:
-			w.checkLoop(n.Body, rangeVarObjs(w.p, n))
+			if w.loopIterates(n) {
+				w.checkLoop(n.Body, rangeVarObjs(w.p, n))
+			}
 		}
 		return true
 	})
@@ -313,6 +412,23 @@ rooted:
 	if pooledToken(v.Name()) || pooledToken(typeName(v.Type())) {
 		return
 	}
+	// Flow-aware classification: the append allocates only if every
+	// definition of the slice that can actually reach this statement is
+	// a fresh allocation. Falls back to the flow-insensitive union when
+	// the call sits outside the CFG (nested func literal).
+	if s := w.enclosingStmt(call.Pos()); s != nil {
+		if fact, ok := w.reach[s]; ok {
+			if defs := fact[v]; len(defs) > 0 {
+				for d := range defs {
+					if !allocatingInit(d.rhs) {
+						return // a reaching origin reuses existing memory
+					}
+				}
+				w.report(call, "append grows function-local slice %q allocated per call; append into a caller buffer or pooled scratch", v.Name())
+				return
+			}
+		}
+	}
 	inits, known := w.inits[v]
 	if !known {
 		return // declared outside the function (captured); assume owned there
@@ -418,22 +534,28 @@ func rangeVarObjs(p *Package, rs *ast.RangeStmt) map[types.Object]bool {
 	return vars
 }
 
+// checkConcat flags a non-constant string concatenation (per-iteration
+// allocation when it sits in a loop — callers establish that context).
+func (w *hotWalker) checkConcat(n *ast.BinaryExpr) {
+	if n.Op != token.ADD {
+		return
+	}
+	tv, ok := w.p.Info.Types[n]
+	if !ok || tv.Value != nil { // constant concatenation folds at compile time
+		return
+	}
+	if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+		w.report(n, "string concatenation in a loop allocates per iteration")
+	}
+}
+
 // checkLoop flags string concatenation and loop-variable-capturing
 // closures inside one loop body.
 func (w *hotWalker) checkLoop(body *ast.BlockStmt, loopVars map[types.Object]bool) {
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.BinaryExpr:
-			if n.Op != token.ADD {
-				return true
-			}
-			tv, ok := w.p.Info.Types[n]
-			if !ok || tv.Value != nil { // constant concatenation folds at compile time
-				return true
-			}
-			if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
-				w.report(n, "string concatenation in a loop allocates per iteration")
-			}
+			w.checkConcat(n)
 		case *ast.FuncLit:
 			for obj := range loopVars {
 				if capturesObj(w.p, n, obj) {

@@ -36,6 +36,8 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+
+	"github.com/hinpriv/dehin/internal/par"
 )
 
 // Diagnostic is one finding: a position, the check that fired, and a
@@ -64,9 +66,14 @@ type Analyzer struct {
 	Run func(p *Package, cfg *Config) []Diagnostic
 }
 
-// Analyzers returns the full suite in its canonical order.
+// Analyzers returns the full suite in its canonical order: the PR 5
+// syntactic checks first, then the flow-sensitive lifecycle checks
+// built on the CFG/dataflow layer (cfg.go, dataflow.go).
 func Analyzers() []*Analyzer {
-	return []*Analyzer{Determinism, NilSafe, HotPath, LogDiscipline}
+	return []*Analyzer{
+		Determinism, NilSafe, HotPath, LogDiscipline,
+		Pairing, ShardSafety, GoLeak, ErrDrop,
+	}
 }
 
 // Config scopes the analyzers to package sets. Entries match an import
@@ -84,6 +91,20 @@ type Config struct {
 	// LogExemptPkgs lists the packages allowed to bypass obs.Logger (the
 	// logging layer itself).
 	LogExemptPkgs []string
+	// Pairs declares the acquire/release lifecycles the pairing analyzer
+	// tracks (see pairing.go for the qualified-name format).
+	Pairs []ResourcePair
+	// MustCall pins release-endpoint implementations: each listed
+	// function's body must still contain its inner release calls.
+	MustCall []CallContract
+	// GoExemptPkgs lists path segments whose packages skip the goleak
+	// check ("cmd": binaries own process-lifetime goroutines).
+	GoExemptPkgs []string
+	// ErrDropExempt lists callees (qualified-name format, see pairing.go)
+	// whose dropped errors are not findings: the best-effort cleanup
+	// families where the surrounding code has already chosen which error
+	// to surface.
+	ErrDropExempt []string
 }
 
 // DefaultConfig returns the repository's invariant scopes: the nine
@@ -100,6 +121,52 @@ func DefaultConfig() *Config {
 		},
 		NilSafePkgs:   []string{"internal/obs", "internal/obs/trace", "internal/serve"},
 		LogExemptPkgs: []string{"internal/obs", "internal/obs/trace"},
+		// The serving layer's three lifecycles (SERVICE.md): snapshot
+		// references, mmap pins, and attack-admission slots. Removing a
+		// release on any handler path — or the Unpin inside release
+		// itself — must turn the lint gate red.
+		Pairs: []ResourcePair{
+			{
+				Name:           "snapshot reference",
+				Acquire:        "internal/serve:Server.acquire",
+				ResourceResult: 0,
+				Releases: []string{
+					"internal/serve:Server.release",
+					"internal/serve:snapshot.unref",
+				},
+			},
+			{
+				Name:           "file pin",
+				Acquire:        "internal/hin:CSRFile.Pin",
+				ResourceResult: -1,
+				Releases:       []string{"internal/hin:CSRFile.Unpin"},
+			},
+			{
+				Name:           "attack admission slot",
+				Acquire:        "internal/serve:Server.admitAttack",
+				ResourceResult: 0,
+				Releases:       []string{"()"},
+			},
+		},
+		MustCall: []CallContract{
+			{
+				Func: "internal/serve:Server.release",
+				Callees: []string{
+					"internal/hin:CSRFile.Unpin",
+					"internal/serve:snapshot.unref",
+				},
+			},
+		},
+		GoExemptPkgs: []string{"cmd"},
+		// Best-effort cleanup: error-path f.Close()/os.Remove before
+		// returning the original error, response-body closes, and process
+		// teardown signals. Durable closes stay checked because they are
+		// written `return f.Close()`, which is not a drop.
+		ErrDropExempt: []string{
+			"os:File.Close", "os:Remove",
+			"io:Closer.Close", "io:ReadCloser.Close",
+			"os:Process.Kill", "os:Process.Signal",
+		},
 	}
 }
 
@@ -227,10 +294,18 @@ func Run(pkgs []*Package) []Diagnostic {
 
 // RunConfigured lints every package with an explicit config and analyzer
 // set, concatenating the per-package findings in deterministic order.
+// Packages are analyzed on parallel workers — Lint only reads the
+// package and the config, and each worker writes its own positional
+// slot — then merged and sorted, so the output is byte-identical to the
+// serial run.
 func RunConfigured(cfg *Config, analyzers []*Analyzer, pkgs []*Package) []Diagnostic {
+	results := make([][]Diagnostic, len(pkgs))
+	par.Run(0, len(pkgs), func(_, i int) {
+		results[i] = pkgs[i].Lint(cfg, analyzers)
+	})
 	var out []Diagnostic
-	for _, p := range pkgs {
-		out = append(out, p.Lint(cfg, analyzers)...)
+	for _, r := range results {
+		out = append(out, r...)
 	}
 	Sort(out)
 	return out

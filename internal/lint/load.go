@@ -13,6 +13,9 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
+
+	"github.com/hinpriv/dehin/internal/par"
 )
 
 // Loader parses and type-checks packages for analysis. One Loader shares a
@@ -29,12 +32,36 @@ type Loader struct {
 }
 
 // NewLoader returns a loader with a fresh file set and source importer.
+// The importer is wrapped in a mutex so LoadPatterns can type-check
+// packages on parallel workers: dependency resolution serializes (each
+// dependency still type-checks exactly once), while parsing and each
+// package's own body check run concurrently.
 func NewLoader() *Loader {
 	fset := token.NewFileSet()
 	return &Loader{
 		fset: fset,
-		imp:  importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		imp:  &lockedImporter{imp: importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)},
 	}
+}
+
+// lockedImporter makes the source importer safe for concurrent Check
+// calls. go/importer's source mode keeps an internal package cache with
+// no locking, so all importer entry points funnel through one mutex.
+type lockedImporter struct {
+	mu  sync.Mutex
+	imp types.ImporterFrom
+}
+
+func (l *lockedImporter) Import(path string) (*types.Package, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.imp.Import(path)
+}
+
+func (l *lockedImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.imp.ImportFrom(path, dir, mode)
 }
 
 // listEntry is the subset of `go list -json` output the loader consumes.
@@ -61,7 +88,7 @@ func (l *Loader) LoadPatterns(dir string, patterns ...string) ([]*Package, error
 		return nil, fmt.Errorf("lint: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
 	}
 	dec := json.NewDecoder(bytes.NewReader(out))
-	var pkgs []*Package
+	var entries []listEntry
 	for {
 		var e listEntry
 		if err := dec.Decode(&e); err == io.EOF {
@@ -75,15 +102,28 @@ func (l *Loader) LoadPatterns(dir string, patterns ...string) ([]*Package, error
 		if len(e.GoFiles) == 0 {
 			continue
 		}
+		entries = append(entries, e)
+	}
+	// Load on parallel workers into positional slots, so the package
+	// order (and with it all downstream output) matches the serial
+	// go list order exactly.
+	pkgs := make([]*Package, len(entries))
+	var firstErr par.FirstErr
+	par.Run(0, len(entries), func(_, i int) {
+		e := entries[i]
 		files := make([]string, len(e.GoFiles))
-		for i, f := range e.GoFiles {
-			files[i] = filepath.Join(e.Dir, f)
+		for j, f := range e.GoFiles {
+			files[j] = filepath.Join(e.Dir, f)
 		}
 		p, err := l.load(e.ImportPath, files)
 		if err != nil {
-			return nil, err
+			firstErr.Set(i, err)
+			return
 		}
-		pkgs = append(pkgs, p)
+		pkgs[i] = p
+	})
+	if err := firstErr.Err(); err != nil {
+		return nil, err
 	}
 	return pkgs, nil
 }

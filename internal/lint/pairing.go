@@ -1,0 +1,651 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Pairing is the RCU-lifecycle analyzer: a resource produced by a
+// configured acquire call (serve.Server.acquire, hin.CSRFile.Pin,
+// serve.Server.admitAttack) must reach a matching release — a call, a
+// defer, or an ownership transfer — on every path out of the function.
+// The resource pairs are Config data, not hard-coded names, so the
+// fixtures and any future lifecycle use the same machinery.
+//
+// The analysis runs the forward dataflow framework over each function's
+// CFG. The fact is the set of live obligations; the join is set union,
+// so an obligation released on one path but not another survives to the
+// exit and is reported. Branch refinement understands the
+// `if err != nil` idiom: an obligation created together with an error
+// result is dropped on the error edge (the acquire failed, nothing to
+// release) and becomes firm on the nil edge. Obligations are discharged
+// by:
+//
+//   - calling a configured release with the resource as receiver or
+//     argument, directly or in a defer (including inside a deferred
+//     func literal);
+//   - invoking the resource itself, for pairs whose release spec is
+//     "()" (admitAttack's release func);
+//   - returning the resource (ownership transfers to the caller — this
+//     is how acquire itself stays clean);
+//   - storing the resource into a field, index, or global, capturing it
+//     in a closure, or handing it to a goroutine (ownership leaves the
+//     function; per-function analysis cannot follow it).
+//
+// Passing the resource as a plain argument to a non-release function
+// does NOT discharge the obligation — s.snapshotInfo(sn) is a use, not
+// a release, so deleting `defer s.release(sn)` in a handler is always a
+// finding.
+//
+// The analyzer also enforces MustCall contracts: a declared release
+// endpoint's body must contain its inner release calls (Server.release
+// must call CSRFile.Unpin and snapshot.unref), which catches deletions
+// inside the release implementation that obligation tracking, by
+// construction, cannot see.
+const checkPairing = "pairing"
+
+var Pairing = &Analyzer{
+	Name: checkPairing,
+	Doc:  "acquired resources (snapshot refs, file pins, admission slots) must be released on every path out of the function",
+	Run:  runPairing,
+}
+
+// ResourcePair declares one acquire/release lifecycle for the pairing
+// analyzer. Callee names are qualified as "pkgpath:Func" or
+// "pkgpath:Type.Method"; the package part matches exactly or as a
+// path-wise suffix, like every other Config entry.
+type ResourcePair struct {
+	// Name labels the resource in diagnostics ("snapshot", "pin").
+	Name string
+	// Acquire is the qualified callee that produces the resource.
+	Acquire string
+	// ResourceResult is the index of the resource in the acquire call's
+	// result tuple, or -1 when the resource is the receiver the acquire
+	// method was called on (the Pin shape: x.Pin() obligates x).
+	ResourceResult int
+	// Releases are the qualified callees that discharge the resource
+	// when it appears as their receiver or an argument. The special
+	// entry "()" means invoking the resource value itself releases it
+	// (the admitAttack shape: release, err := admit(); defer release()).
+	Releases []string
+}
+
+// CallContract requires a function's body to contain calls to each
+// listed callee. Pairing uses it to pin release implementations: the
+// per-function obligation analysis proves acquire sites release, and
+// the contract proves the release endpoint still does its job.
+type CallContract struct {
+	// Func is the qualified function whose body is checked.
+	Func string
+	// Callees are the qualified calls that must appear in the body.
+	Callees []string
+}
+
+func runPairing(p *Package, cfg *Config) []Diagnostic {
+	if len(cfg.Pairs) == 0 && len(cfg.MustCall) == 0 {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range p.Files {
+		if len(cfg.Pairs) > 0 {
+			for _, sc := range funcScopes(f) {
+				out = append(out, pairingScope(p, cfg, sc)...)
+			}
+		}
+		for _, d := range f.Decls {
+			if fn, ok := d.(*ast.FuncDecl); ok && fn.Body != nil {
+				out = append(out, checkContracts(p, cfg, fn)...)
+			}
+		}
+	}
+	return out
+}
+
+// --- qualified callee names ----------------------------------------------
+
+// calleeQName resolves a call's callee to its qualified name and, for
+// methods, the receiver expression. Empty when the callee is not a
+// named function or method (builtins, func values, conversions).
+func calleeQName(info *types.Info, call *ast.CallExpr) (qname string, recv ast.Expr) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, ok := info.Uses[fun].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return "", nil
+		}
+		return fn.Pkg().Path() + ":" + fn.Name(), nil
+	case *ast.SelectorExpr:
+		fn, ok := info.Uses[fun.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return "", nil
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			return fn.Pkg().Path() + ":" + fn.Name(), nil
+		}
+		return fn.Pkg().Path() + ":" + sigRecvTypeName(sig) + "." + fn.Name(), fun.X
+	}
+	return "", nil
+}
+
+// recvTypeName returns the receiver's named type (pointer dereferenced).
+func sigRecvTypeName(sig *types.Signature) string {
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// qnameMatches reports whether a resolved callee matches a config spec:
+// the member part exactly, the package part per matchPkg suffix rules.
+func qnameMatches(qname, spec string) bool {
+	qpkg, qrest, ok1 := strings.Cut(qname, ":")
+	spkg, srest, ok2 := strings.Cut(spec, ":")
+	return ok1 && ok2 && qrest == srest && matchPkg(qpkg, []string{spkg})
+}
+
+// declQName builds the qualified name of a function declaration.
+func declQName(info *types.Info, fn *ast.FuncDecl) string {
+	obj, ok := info.Defs[fn.Name].(*types.Func)
+	if !ok || obj.Pkg() == nil {
+		return ""
+	}
+	sig := obj.Type().(*types.Signature)
+	if sig.Recv() == nil {
+		return obj.Pkg().Path() + ":" + obj.Name()
+	}
+	return obj.Pkg().Path() + ":" + sigRecvTypeName(sig) + "." + obj.Name()
+}
+
+// --- obligation tracking --------------------------------------------------
+
+// resKey identifies a tracked resource: the local variable rooting it
+// plus a field path ("" for the variable itself, ".file" for sn.file —
+// the Pin-obligation shape).
+type resKey struct {
+	root *types.Var
+	path string
+}
+
+// resState is one live obligation. errVar, while non-nil, marks the
+// obligation conditional on that error being nil; a branch testing it
+// resolves the state, and reassigning the variable makes the obligation
+// firm (later tests of the recycled name say nothing about the acquire).
+type resState struct {
+	pair   int // index into cfg.Pairs
+	pos    token.Pos
+	errVar *types.Var
+}
+
+type pairFact map[resKey]resState
+
+// exprKey roots a receiver/argument expression to a resource key:
+// an identifier chain of selectors with optional derefs/parens.
+func exprKey(info *types.Info, e ast.Expr) (resKey, bool) {
+	path := ""
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if v := identVar(info, x); v != nil {
+				return resKey{v, path}, true
+			}
+			return resKey{}, false
+		case *ast.SelectorExpr:
+			path = "." + x.Sel.Name + path
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return resKey{}, false
+			}
+			e = x.X
+		default:
+			return resKey{}, false
+		}
+	}
+}
+
+// pairAnalysis carries one function scope's analysis context.
+type pairAnalysis struct {
+	p   *Package
+	cfg *Config
+}
+
+func pairingScope(p *Package, cfg *Config, sc funcScope) []Diagnostic {
+	a := &pairAnalysis{p: p, cfg: cfg}
+	c := buildCFG(sc.body, p.Info)
+	fns := flowFuncs[pairFact]{
+		bottom: func() pairFact { return pairFact{} },
+		clone: func(f pairFact) pairFact {
+			out := make(pairFact, len(f))
+			for k, s := range f {
+				out[k] = s
+			}
+			return out
+		},
+		join: func(dst, src pairFact) bool {
+			changed := false
+			for k, s := range src {
+				if have, ok := dst[k]; ok {
+					// Firm held absorbs conditional held.
+					if have.errVar != nil && s.errVar == nil {
+						have.errVar = nil
+						dst[k] = have
+						changed = true
+					}
+					continue
+				}
+				dst[k] = s
+				changed = true
+			}
+			return changed
+		},
+		transfer: a.transfer,
+		refine:   a.refine,
+	}
+	in := forward(c, fns, pairFact{})
+
+	// Everything still live at the normal exit leaked on some path.
+	// Panic exits are exempt: crash paths carry no release obligations.
+	leaks := in[c.Exit]
+	var out []Diagnostic
+	for _, s := range leaks {
+		pair := cfg.Pairs[s.pair]
+		out = append(out, Diagnostic{
+			Pos:   p.Fset.Position(s.pos),
+			Check: checkPairing,
+			Message: fmt.Sprintf("%s acquired by %s is not released on every path out of %s (want %s)",
+				pair.Name, shortQName(pair.Acquire), scopeName(sc), releaseHint(pair)),
+		})
+	}
+	// One report per acquire site even if several keys alias it.
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos.Offset < out[j].Pos.Offset })
+	dedup := out[:0]
+	var last token.Position
+	for _, d := range out {
+		if d.Pos != last {
+			dedup = append(dedup, d)
+			last = d.Pos
+		}
+	}
+	return dedup
+}
+
+func shortQName(spec string) string {
+	if _, rest, ok := strings.Cut(spec, ":"); ok {
+		return rest
+	}
+	return spec
+}
+
+func releaseHint(pair ResourcePair) string {
+	var names []string
+	for _, r := range pair.Releases {
+		if r == "()" {
+			names = append(names, "calling the returned release func")
+			continue
+		}
+		names = append(names, shortQName(r))
+	}
+	return strings.Join(names, " or ")
+}
+
+func scopeName(sc funcScope) string {
+	if sc.lit != nil {
+		if sc.decl != nil {
+			return "a func literal in " + sc.decl.Name.Name
+		}
+		return "a func literal"
+	}
+	return sc.decl.Name.Name
+}
+
+// transfer applies one statement to the obligation set.
+func (a *pairAnalysis) transfer(fact pairFact, s ast.Stmt) {
+	// Kills first: release calls anywhere in the statement, closures
+	// capturing a tracked root, goroutine handoff.
+	switch s := s.(type) {
+	case *ast.DeferStmt:
+		a.callKills(fact, s.Call)
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			// defer func() { ... release ... }(): scan the deferred body
+			// for release calls; they run on every exit.
+			ast.Inspect(lit.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					a.callKills(fact, call)
+				}
+				return true
+			})
+		}
+		a.captureKills(fact, s.Call)
+		return
+	case *ast.GoStmt:
+		// The goroutine owns whatever it received or captured.
+		a.callKills(fact, s.Call)
+		for _, arg := range s.Call.Args {
+			if k, ok := exprKey(a.p.Info, arg); ok {
+				killRoot(fact, k.root)
+			}
+		}
+		a.captureKills(fact, s.Call)
+		return
+	case *ast.ReturnStmt:
+		for _, res := range s.Results {
+			if k, ok := exprKey(a.p.Info, res); ok && k.path == "" {
+				// Returning the resource (or the value rooting it)
+				// transfers ownership to the caller.
+				killRoot(fact, k.root)
+			}
+		}
+		return
+	}
+
+	shallowInspect(s, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			a.callKills(fact, n)
+		case *ast.FuncLit:
+			a.litCaptureKills(fact, n)
+		}
+		return true
+	})
+
+	if as, ok := s.(*ast.AssignStmt); ok {
+		a.assign(fact, as)
+	}
+}
+
+// callKills discharges obligations released by this call: configured
+// releases (resource as receiver or argument) and resource-value
+// invocation for "()" pairs.
+func (a *pairAnalysis) callKills(fact pairFact, call *ast.CallExpr) {
+	// release, err := admit(); release() — the callee is the resource.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if v := identVar(a.p.Info, id); v != nil {
+			k := resKey{v, ""}
+			if st, ok := fact[k]; ok && hasCallRelease(a.cfg.Pairs[st.pair]) {
+				delete(fact, k)
+			}
+		}
+	}
+	qname, recv := calleeQName(a.p.Info, call)
+	if qname == "" {
+		return
+	}
+	for k, st := range fact {
+		for _, rel := range a.cfg.Pairs[st.pair].Releases {
+			if rel == "()" || !qnameMatches(qname, rel) {
+				continue
+			}
+			if recv != nil {
+				if rk, ok := exprKey(a.p.Info, recv); ok && rk == k {
+					delete(fact, k)
+					continue
+				}
+			}
+			for _, arg := range call.Args {
+				if ak, ok := exprKey(a.p.Info, arg); ok && (ak == k || ak.root == k.root && ak.path == "") {
+					delete(fact, k)
+					break
+				}
+			}
+		}
+	}
+}
+
+func hasCallRelease(pair ResourcePair) bool {
+	for _, r := range pair.Releases {
+		if r == "()" {
+			return true
+		}
+	}
+	return false
+}
+
+// captureKills drops obligations whose root is captured by any func
+// literal among the call's function or arguments.
+func (a *pairAnalysis) captureKills(fact pairFact, call *ast.CallExpr) {
+	ast.Inspect(call, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			a.litCaptureKills(fact, lit)
+			return false
+		}
+		return true
+	})
+}
+
+func (a *pairAnalysis) litCaptureKills(fact pairFact, lit *ast.FuncLit) {
+	for k := range fact {
+		if usesVar(a.p.Info, lit.Body, k.root) {
+			delete(fact, k)
+		}
+	}
+}
+
+// usesVar reports whether the node references the variable.
+func usesVar(info *types.Info, n ast.Node, v *types.Var) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == v {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func killRoot(fact pairFact, root *types.Var) {
+	for k := range fact {
+		if k.root == root {
+			delete(fact, k)
+		}
+	}
+}
+
+// assign handles acquire bindings, escapes, and variable recycling.
+func (a *pairAnalysis) assign(fact pairFact, s *ast.AssignStmt) {
+	// Escapes: storing a tracked resource into a field, index, global,
+	// or another variable moves ownership somewhere this analysis
+	// cannot follow. `_ = r` is a discard, not an escape — the
+	// obligation stands.
+	for i, rhs := range s.Rhs {
+		if len(s.Lhs) == len(s.Rhs) && isBlank(s.Lhs[i]) {
+			continue
+		}
+		if k, ok := exprKey(a.p.Info, rhs); ok {
+			if _, tracked := fact[k]; tracked {
+				delete(fact, k)
+			}
+		}
+	}
+	// Reassigning a variable retires obligations rooted in its old
+	// value, and firms up obligations conditioned on a recycled error.
+	for _, lhs := range s.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		v := identVar(a.p.Info, id)
+		if v == nil {
+			continue
+		}
+		killRoot(fact, v)
+		for k, st := range fact {
+			if st.errVar == v {
+				st.errVar = nil
+				fact[k] = st
+			}
+		}
+	}
+	// New obligations from acquire calls on the RHS.
+	if len(s.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	a.acquireCall(fact, call, s.Lhs)
+}
+
+// acquireCall binds a matching acquire call's resource (and its paired
+// error variable, when the result tuple has one) into the fact.
+func (a *pairAnalysis) acquireCall(fact pairFact, call *ast.CallExpr, lhs []ast.Expr) {
+	qname, recv := calleeQName(a.p.Info, call)
+	if qname == "" {
+		return
+	}
+	for pi, pair := range a.cfg.Pairs {
+		if !qnameMatches(qname, pair.Acquire) {
+			continue
+		}
+		var key resKey
+		if pair.ResourceResult < 0 {
+			rk, ok := exprKey(a.p.Info, recv)
+			if !ok {
+				return
+			}
+			key = rk
+		} else {
+			if pair.ResourceResult >= len(lhs) {
+				return
+			}
+			id, ok := lhs[pair.ResourceResult].(*ast.Ident)
+			if !ok || id.Name == "_" {
+				return // discarded or stored directly; untrackable
+			}
+			v := identVar(a.p.Info, id)
+			if v == nil {
+				return
+			}
+			key = resKey{v, ""}
+		}
+		st := resState{pair: pi, pos: call.Pos()}
+		// Bind the error result assigned alongside the acquire, if any:
+		// the obligation stays conditional until a branch tests it.
+		for _, l := range lhs {
+			id, ok := l.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			v := identVar(a.p.Info, id)
+			if v == nil || !isErrorType(v.Type()) {
+				continue
+			}
+			st.errVar = v
+		}
+		fact[key] = st
+		return
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	return t != nil && t.String() == "error"
+}
+
+// refine specializes the fact on branch edges for the err-check idiom:
+// on `err != nil` the true edge drops obligations conditioned on err
+// (the acquire failed) and the false edge makes them firm.
+func (a *pairAnalysis) refine(fact pairFact, b *Block, succIdx int) pairFact {
+	v, eqNil, ok := nilCheckVar(a.p.Info, b.Cond)
+	if !ok {
+		return fact
+	}
+	errEdge := succIdx == 0 // true edge of `err != nil`
+	if eqNil {
+		errEdge = !errEdge // `err == nil`: the false edge is the error edge
+	}
+	out := make(pairFact, len(fact))
+	for k, st := range fact {
+		if st.errVar == v {
+			if errEdge {
+				continue // acquire failed on this edge; no obligation
+			}
+			st.errVar = nil
+		}
+		out[k] = st
+	}
+	return out
+}
+
+// nilCheckVar decodes `x != nil` / `x == nil` conditions.
+func nilCheckVar(info *types.Info, cond ast.Expr) (v *types.Var, eqNil, ok bool) {
+	be, isBin := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !isBin || (be.Op != token.NEQ && be.Op != token.EQL) {
+		return nil, false, false
+	}
+	x, y := ast.Unparen(be.X), ast.Unparen(be.Y)
+	if isNilLit(y) {
+		// fallthrough with x as the variable side
+	} else if isNilLit(x) {
+		x = y
+	} else {
+		return nil, false, false
+	}
+	id, isID := x.(*ast.Ident)
+	if !isID {
+		return nil, false, false
+	}
+	vv := identVar(info, id)
+	if vv == nil {
+		return nil, false, false
+	}
+	return vv, be.Op == token.EQL, true
+}
+
+func isNilLit(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// --- MustCall contracts ---------------------------------------------------
+
+func checkContracts(p *Package, cfg *Config, fn *ast.FuncDecl) []Diagnostic {
+	qname := declQName(p.Info, fn)
+	if qname == "" {
+		return nil
+	}
+	var out []Diagnostic
+	for _, ct := range cfg.MustCall {
+		if !qnameMatches(qname, ct.Func) {
+			continue
+		}
+		for _, want := range ct.Callees {
+			found := false
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if found {
+					return false
+				}
+				if call, ok := n.(*ast.CallExpr); ok {
+					if got, _ := calleeQName(p.Info, call); got != "" && qnameMatches(got, want) {
+						found = true
+						return false
+					}
+				}
+				return true
+			})
+			if !found {
+				out = append(out, Diagnostic{
+					Pos:   p.Fset.Position(fn.Pos()),
+					Check: checkPairing,
+					Message: fmt.Sprintf("%s is a declared release endpoint but no longer calls %s",
+						fn.Name.Name, shortQName(want)),
+				})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,368 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ShardSafety enforces the internal/par ownership contract that makes
+// the sweeps deterministic and race-free: a worker closure may write a
+// captured slice or map only through indices it positionally owns. Two
+// rules with different strictness, matching how the code is allowed to
+// be written:
+//
+// Worker closures passed directly to par.Run / par.Sweep (strict):
+// owned index variables are exactly the worker parameter, the task
+// index (Run) or lo (Sweep), and variables derived from them
+// (`for v := lo; v < hi; v++`). Every index on the path to a captured
+// write must mention an owned variable; hi is deliberately NOT owned —
+// it is the exclusive bound, so `sig[hi] = 0` is the textbook
+// out-of-shard write and must be a finding. Writes to captured scalars
+// are findings outright: aggregation goes through per-worker slots.
+//
+// Ad-hoc `go func` literals (loose): ownership tokens are the
+// literal's parameters, channel receives (including range-over-channel
+// variables — the fan-in idiom), values claimed through sync/atomic
+// counters (the chunk-stealing idiom), and variables derived from
+// those.
+// A captured write whose indices mention no owned variable — or a bare
+// captured scalar write — is unsynchronized shared state. Literals
+// that take a sync.Mutex/RWMutex lock are skipped: they opted into
+// lock-based ownership, which is vet -race territory, not index
+// discipline.
+const checkShardSafety = "shardsafety"
+
+var ShardSafety = &Analyzer{
+	Name: checkShardSafety,
+	Doc:  "par worker closures and go literals may write captured slices/maps only through positionally-owned indices",
+	Run:  runShardSafety,
+}
+
+func runShardSafety(p *Package, cfg *Config) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if kind := parWorkerKind(p.Info, n); kind != "" {
+					if lit, ok := lastArgLit(n); ok {
+						out = append(out, checkWorkerLit(p, lit, kind)...)
+					}
+				}
+			case *ast.GoStmt:
+				if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+					out = append(out, checkGoLit(p, lit)...)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// parWorkerKind classifies a call as a par worker-pool entry point:
+// "run" for par.Run(workers, n, task(worker, i)), "sweep" for
+// par.Sweep(workers, n, width, fn(worker, lo, hi)).
+func parWorkerKind(info *types.Info, call *ast.CallExpr) string {
+	qname, _ := calleeQName(info, call)
+	switch {
+	case qnameMatches(qname, "internal/par:Run"):
+		return "run"
+	case qnameMatches(qname, "internal/par:Sweep"):
+		return "sweep"
+	}
+	return ""
+}
+
+func lastArgLit(call *ast.CallExpr) (*ast.FuncLit, bool) {
+	if len(call.Args) == 0 {
+		return nil, false
+	}
+	lit, ok := ast.Unparen(call.Args[len(call.Args)-1]).(*ast.FuncLit)
+	return lit, ok
+}
+
+// checkWorkerLit applies the strict rule to a par.Run/par.Sweep worker
+// closure.
+func checkWorkerLit(p *Package, lit *ast.FuncLit, kind string) []Diagnostic {
+	owned := make(map[*types.Var]bool)
+	params := litParams(p, lit)
+	// Run(worker, i): both owned. Sweep(worker, lo, hi): worker and lo
+	// owned; hi is the exclusive bound and stays unowned.
+	for i, v := range params {
+		if kind == "sweep" && i == 2 {
+			continue
+		}
+		owned[v] = true
+	}
+	growOwned(p, lit, owned)
+	return findBadWrites(p, lit, owned, true)
+}
+
+// checkGoLit applies the loose rule to an ad-hoc goroutine literal.
+func checkGoLit(p *Package, lit *ast.FuncLit) []Diagnostic {
+	if litTakesLock(p, lit) {
+		return nil
+	}
+	owned := make(map[*types.Var]bool)
+	for _, v := range litParams(p, lit) {
+		owned[v] = true
+	}
+	recvOwned := collectReceiveVars(p, lit)
+	for v := range recvOwned {
+		owned[v] = true
+	}
+	growOwned(p, lit, owned)
+	return findBadWrites(p, lit, owned, false)
+}
+
+func litParams(p *Package, lit *ast.FuncLit) []*types.Var {
+	var out []*types.Var
+	if lit.Type.Params == nil {
+		return out
+	}
+	for _, f := range lit.Type.Params.List {
+		for _, name := range f.Names {
+			if v, ok := p.Info.Defs[name].(*types.Var); ok {
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// collectReceiveVars gathers channel-derived variables: `v := <-ch`,
+// `v, ok := <-ch`, `for v := range ch`, and select receive arms.
+func collectReceiveVars(p *Package, lit *ast.FuncLit) map[*types.Var]bool {
+	out := make(map[*types.Var]bool)
+	bind := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok {
+			if v := identVar(p.Info, id); v != nil {
+				out[v] = true
+			}
+		}
+	}
+	inspectOwnScope(lit, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Rhs) == 1 {
+				if ue, ok := ast.Unparen(n.Rhs[0]).(*ast.UnaryExpr); ok && ue.Op == token.ARROW {
+					for _, l := range n.Lhs {
+						bind(l)
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			if isChannelType(p.Info, n.X) {
+				bind(n.Key)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// growOwned closes the owned set over derivation: a variable assigned
+// from an expression mentioning an owned variable — or claimed through a
+// sync/atomic counter, the chunk-stealing idiom — becomes owned
+// (`for v := lo; v < hi; v++` — v is owned via lo; `start :=
+// int(next.Add(chunk)) - chunk` — start is owned via the atomic claim),
+// and so do range variables over an owned-derived sequence. Iterates to
+// a fixed point; function bodies are tiny.
+func growOwned(p *Package, lit *ast.FuncLit, owned map[*types.Var]bool) {
+	claim := func(id *ast.Ident, src ast.Expr, grew *bool) {
+		if id == nil {
+			return
+		}
+		v := identVar(p.Info, id)
+		if v == nil || owned[v] {
+			return
+		}
+		if mentionsOwned(p, src, owned) || atomicToken(p, src) {
+			owned[v] = true
+			*grew = true
+		}
+	}
+	for {
+		grew := false
+		inspectOwnScope(lit, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				// Only plain assignment and definition derive ownership:
+				// `total += i` mixes prior (unowned) state into the result.
+				if len(n.Lhs) != len(n.Rhs) || n.Tok != token.ASSIGN && n.Tok != token.DEFINE {
+					return true
+				}
+				for i, lhs := range n.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						claim(id, n.Rhs[i], &grew)
+					}
+				}
+			case *ast.RangeStmt:
+				key, _ := n.Key.(*ast.Ident)
+				val, _ := n.Value.(*ast.Ident)
+				claim(key, n.X, &grew)
+				claim(val, n.X, &grew)
+			}
+			return true
+		})
+		if !grew {
+			return
+		}
+	}
+}
+
+// atomicToken reports whether the expression claims through a
+// sync/atomic method (Add, CompareAndSwap, ...): the claimed value is an
+// ownership token — each goroutine observes a distinct result, so slots
+// indexed by it are positionally owned.
+func atomicToken(p *Package, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if qname, _ := calleeQName(p.Info, call); strings.HasPrefix(qname, "sync/atomic:") {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func mentionsOwned(p *Package, e ast.Expr, owned map[*types.Var]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if v := identVar(p.Info, id); v != nil && owned[v] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// litTakesLock reports whether the literal body locks a sync mutex.
+func litTakesLock(p *Package, lit *ast.FuncLit) bool {
+	found := false
+	inspectOwnScope(lit, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			switch qname, _ := calleeQName(p.Info, call); qname {
+			case "sync:Mutex.Lock", "sync:RWMutex.Lock", "sync:RWMutex.RLock":
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// findBadWrites reports writes to captured state that do not go through
+// an owned index. strict distinguishes the message wording only; the
+// mechanics are shared.
+func findBadWrites(p *Package, lit *ast.FuncLit, owned map[*types.Var]bool, strict bool) []Diagnostic {
+	var out []Diagnostic
+	report := func(n ast.Node, root *types.Var, indexed bool) {
+		var msg string
+		ctx := "go literal"
+		if strict {
+			ctx = "par worker closure"
+		}
+		if indexed {
+			msg = fmt.Sprintf("%s writes captured %q outside its owned shard: no index derives from the worker's bounds; use the shard/task index or a per-worker slot", ctx, root.Name())
+		} else {
+			msg = fmt.Sprintf("%s writes captured variable %q without ownership: use a per-worker slot, a channel, or sync/atomic", ctx, root.Name())
+		}
+		out = append(out, Diagnostic{
+			Pos:     p.Fset.Position(n.Pos()),
+			Check:   checkShardSafety,
+			Message: msg,
+		})
+	}
+	check := func(n ast.Node, lhs ast.Expr) {
+		root, indices, ok := writeRoot(p, lhs)
+		if !ok || root == nil {
+			return
+		}
+		if !capturedBy(lit, root) || owned[root] {
+			return
+		}
+		if len(indices) == 0 {
+			// Captured scalar (or whole-slice/map reassignment through a
+			// selector chain without an index).
+			report(n, root, false)
+			return
+		}
+		for _, idx := range indices {
+			if mentionsOwned(p, idx, owned) {
+				return
+			}
+		}
+		report(n, root, true)
+	}
+	inspectOwnScope(lit, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				check(n, lhs)
+			}
+		case *ast.IncDecStmt:
+			check(n, n.X)
+		}
+		return true
+	})
+	return out
+}
+
+// writeRoot peels an assignment destination to its root variable,
+// collecting the index expressions crossed on the way
+// (ps[s].overflow → root ps, indices [s]).
+func writeRoot(p *Package, lhs ast.Expr) (root *types.Var, indices []ast.Expr, ok bool) {
+	for {
+		switch e := ast.Unparen(lhs).(type) {
+		case *ast.Ident:
+			return identVar(p.Info, e), indices, true
+		case *ast.IndexExpr:
+			indices = append(indices, e.Index)
+			lhs = e.X
+		case *ast.SelectorExpr:
+			lhs = e.X
+		case *ast.StarExpr:
+			lhs = e.X
+		default:
+			return nil, nil, false
+		}
+	}
+}
+
+// capturedBy reports whether the variable is declared outside the
+// literal (captured from the enclosing function).
+func capturedBy(lit *ast.FuncLit, v *types.Var) bool {
+	return v.Pos() < lit.Pos() || v.Pos() >= lit.End()
+}
+
+// inspectOwnScope walks the literal's body without entering nested
+// function literals (they are analyzed as their own scopes).
+func inspectOwnScope(lit *ast.FuncLit, fn func(ast.Node) bool) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if inner, ok := n.(*ast.FuncLit); ok && inner != lit {
+			return false
+		}
+		return fn(n)
+	})
+}

@@ -1,0 +1,114 @@
+// Package errdropfix exercises the errdrop analyzer: error results may
+// not vanish through bare statement calls, defers, go statements, or
+// blank assignment, outside the documented always-nil families.
+package errdropfix
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"strings"
+)
+
+func mayFail() error { return errors.New("boom") }
+
+func produce() (int, error) { return 1, nil }
+
+type closer struct{}
+
+func (closer) Close() error { return nil }
+
+// dropStmt discards the error of a bare statement call.
+func dropStmt() {
+	mayFail() // want "result of mayFail discards its error"
+}
+
+// dropDefer discards through defer, the classic forgotten Close check.
+func dropDefer(c closer) {
+	defer c.Close() // want "deferred Close discards its error"
+}
+
+// dropGo discards inside a go statement.
+func dropGo(done chan struct{}) {
+	go mayFail() // want "goroutine mayFail discards its error"
+	<-done
+}
+
+// dropTupleBlank binds the error half of a tuple to _.
+func dropTupleBlank() int {
+	v, _ := produce() // want "error result of produce assigned to _"
+	return v
+}
+
+// dropDirectBlank assigns a bare error expression to _.
+func dropDirectBlank() {
+	_ = mayFail() // want "error assigned to _"
+}
+
+// handled is the baseline good shape.
+func handled() error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	v, err := produce()
+	if err != nil {
+		return err
+	}
+	_ = v
+	return nil
+}
+
+// exemptFamilies covers every documented always-nil family.
+func exemptFamilies(w io.Writer) string {
+	fmt.Println("stdout never checked")
+	fmt.Printf("%d\n", 1)
+	fmt.Fprintf(os.Stderr, "stderr is a process stream\n")
+	fmt.Fprintln(os.Stdout, "so is stdout")
+
+	var sb strings.Builder
+	sb.WriteString("builder writes are documented nil")
+	sb.WriteByte('!')
+	fmt.Fprintf(&sb, "fprint into a builder too")
+
+	var buf bytes.Buffer
+	buf.WriteString("buffer writes are documented nil")
+	fmt.Fprintln(&buf, "and fprint into a buffer")
+
+	h := crc32.NewIEEE()
+	h.Write([]byte("hash.Hash documents Write never errors"))
+
+	// A general writer is NOT exempt.
+	fmt.Fprintln(w, "unknown sink") // want "result of Fprintln discards its error"
+
+	return sb.String() + buf.String()
+}
+
+// exemptConfigured exercises the ErrDropExempt list the fixture test
+// configures: best-effort error-path cleanup on an os.File and a body
+// close through the io.Closer interface are not drops.
+func exemptConfigured(path string, body io.ReadCloser) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	if _, err := io.ReadAll(f); err != nil {
+		f.Close()
+		return err
+	}
+	body.Close()
+	return f.Close()
+}
+
+// conversions are not calls with results; no finding.
+func conversion(v error) error {
+	e := error(v)
+	return e
+}
+
+// allowDrop documents a deliberate discard.
+func allowDrop() {
+	mayFail() //hin:allow errdrop -- fixture: error is unactionable in this path, kept for the suppression test
+}

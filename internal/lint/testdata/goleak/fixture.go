@@ -1,0 +1,119 @@
+// Package goleakfix exercises the goleak analyzer: every go statement
+// must have a CFG-reachable join (WaitGroup.Wait, channel receive, or
+// range over a channel) in the same function, or a reasoned allow.
+package goleakfix
+
+import "sync"
+
+func work() {}
+
+// plainLeak starts a goroutine and walks away.
+func plainLeak() {
+	go work() // want "goroutine started in plainLeak has no reachable join"
+}
+
+// wgJoin is the canonical fan-out shape.
+func wgJoin(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+// chanJoin receives the goroutine's completion signal.
+func chanJoin() int {
+	done := make(chan int, 1)
+	go func() { done <- 1 }()
+	return <-done
+}
+
+// rangeJoin drains a results channel, which is a join.
+func rangeJoin(n int) int {
+	out := make(chan int, n)
+	for i := 0; i < n; i++ {
+		go func(i int) { out <- i }(i)
+	}
+	total := 0
+	for v := range out {
+		total += v
+		if total > n {
+			break
+		}
+	}
+	return total
+}
+
+// selectJoin joins through a select receive arm (select arms are their
+// own CFG blocks, so the receive is reachable).
+func selectJoin(stop chan struct{}) {
+	done := make(chan struct{})
+	go func() { close(done) }()
+	select {
+	case <-done:
+	case <-stop:
+	}
+}
+
+// branchLeak has a Wait, but only on a branch the goroutine's path never
+// reaches: lexical "there is a Wait below" is not good enough.
+func branchLeak(cond bool) {
+	var wg sync.WaitGroup
+	if cond {
+		wg.Wait()
+		return
+	}
+	wg.Add(1)
+	go func() { // want "goroutine started in branchLeak has no reachable join"
+		defer wg.Done()
+		work()
+	}()
+}
+
+// deferredJoin joins via a deferred Wait, which runs on every exit path.
+func deferredJoin(cond bool) {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	if cond {
+		return
+	}
+	work()
+}
+
+// loopJoin starts the goroutine after the Wait lexically, but the loop
+// carries control back to the receive, so the join is reachable.
+func loopJoin(rounds int) {
+	done := make(chan struct{}, 1)
+	for i := 0; i < rounds; i++ {
+		if i > 0 {
+			<-done
+		}
+		go func() { done <- struct{}{} }()
+	}
+	<-done
+}
+
+// allowLeak documents a process-lifetime goroutine.
+func allowLeak() {
+	go work() //hin:allow goleak -- fixture: deliberate daemon for the suppression test
+}
+
+// litLeak leaks from inside a func literal: each literal is its own
+// scope, so the outer function's Wait does not join it.
+func litLeak() func() {
+	var wg sync.WaitGroup
+	f := func() {
+		go work() // want "goroutine started in a func literal in litLeak has no reachable join"
+	}
+	wg.Wait()
+	return f
+}

@@ -1,0 +1,256 @@
+// Package pairfix exercises the pairing analyzer: configured
+// acquire/release lifecycles must balance on every path. The test
+// configures Pool.Get/Pool.Put as a result-resource pair, File.Pin/
+// File.Unpin as a receiver-resource pair, and Pool.Admit as a
+// call-the-value pair, mirroring the serve layer's three lifecycles.
+package pairfix
+
+import "errors"
+
+// File mimics hin.CSRFile: Pin obligates the receiver.
+type File struct{ pins int }
+
+func (f *File) Pin() error {
+	if f == nil {
+		return errors.New("no file")
+	}
+	f.pins++
+	return nil
+}
+
+func (f *File) Unpin() { f.pins-- }
+
+// Res mimics a snapshot: acquired from the pool, carries a pinned file.
+type Res struct {
+	file *File
+	n    int
+}
+
+// Pool mimics serve.Server's lifecycle surface.
+type Pool struct {
+	cur  *Res
+	held *Res
+}
+
+func (p *Pool) Get() (*Res, error) {
+	if p.cur == nil {
+		return nil, errors.New("empty")
+	}
+	return p.cur, nil
+}
+
+func (p *Pool) Put(r *Res) {
+	r.file.Unpin()
+	r.n--
+}
+
+func (p *Pool) Admit() (func(), error) {
+	if p.cur == nil {
+		return nil, errors.New("busy")
+	}
+	return func() { p.cur.n-- }, nil
+}
+
+// leakyPut is a declared release endpoint (MustCall contract) that no
+// longer performs its inner release.
+func leakyPut(r *Res) { // want "leakyPut is a declared release endpoint but no longer calls File.Unpin"
+	r.n--
+}
+
+// goodDefer is the canonical handler shape: acquire, error check,
+// deferred release.
+func goodDefer(p *Pool) int {
+	r, err := p.Get()
+	if err != nil {
+		return 0
+	}
+	defer p.Put(r)
+	return r.n
+}
+
+// goodInline releases on every explicit path.
+func goodInline(p *Pool, cond bool) int {
+	r, err := p.Get()
+	if err != nil {
+		return 0
+	}
+	if cond {
+		p.Put(r)
+		return 1
+	}
+	n := r.n
+	p.Put(r)
+	return n
+}
+
+// leak never releases: the obligation survives to the function exit.
+func leak(p *Pool) int {
+	r, err := p.Get() // want "snap acquired by Pool.Get is not released on every path"
+	if err != nil {
+		return 0
+	}
+	return r.n
+}
+
+// leakEarlyReturn releases on the fallthrough path but not on the early
+// return — the flow-sensitive case a lexical matcher cannot see.
+func leakEarlyReturn(p *Pool, cond bool) int {
+	r, err := p.Get() // want "snap acquired by Pool.Get is not released on every path"
+	if err != nil {
+		return 0
+	}
+	if cond {
+		return -1
+	}
+	p.Put(r)
+	return r.n
+}
+
+// leakBranchOnly releases only inside one branch.
+func leakBranchOnly(p *Pool, cond bool) int {
+	r, err := p.Get() // want "snap acquired by Pool.Get is not released on every path"
+	if err != nil {
+		return 0
+	}
+	if cond {
+		p.Put(r)
+	}
+	return 0
+}
+
+// uncheckedLeak never even checks the error; the obligation is reported
+// at the acquire regardless.
+func uncheckedLeak(p *Pool) {
+	r, _ := p.Get() // want "snap acquired by Pool.Get is not released on every path"
+	_ = r
+}
+
+// allowLeak documents a deliberate leak; the suppression silences it.
+func allowLeak(p *Pool) int {
+	r, err := p.Get() //hin:allow pairing -- fixture: deliberate leak kept for the suppression test
+	if err != nil {
+		return 0
+	}
+	return r.n
+}
+
+// transfer returns the resource: ownership moves to the caller, exactly
+// how the real acquire stays clean.
+func transfer(p *Pool) (*Res, error) {
+	r, err := p.Get()
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// escape stores the resource into a field; per-function analysis hands
+// ownership to the struct.
+func escape(p *Pool) {
+	r, err := p.Get()
+	if err != nil {
+		return
+	}
+	p.held = r
+}
+
+// deferredClosure releases inside a deferred func literal.
+func deferredClosure(p *Pool) int {
+	r, err := p.Get()
+	if err != nil {
+		return 0
+	}
+	defer func() { p.Put(r) }()
+	return r.n
+}
+
+// useIsNotRelease passes the resource to a plain function — that is a
+// use, not a release, so the obligation stands.
+func useIsNotRelease(p *Pool) int {
+	r, err := p.Get() // want "snap acquired by Pool.Get is not released on every path"
+	if err != nil {
+		return 0
+	}
+	return inspect(r)
+}
+
+func inspect(r *Res) int { return r.n }
+
+// pinGood mirrors serve.Server.acquire: pin the receiver path, unpin on
+// the error edge by construction (no pin taken), return transfers.
+func pinGood(r *Res) error {
+	if err := r.file.Pin(); err != nil {
+		return err
+	}
+	defer r.file.Unpin()
+	return nil
+}
+
+// pinLeak takes the pin and forgets it on the success path.
+func pinLeak(r *Res, cond bool) error {
+	if err := r.file.Pin(); err != nil { // want "pin acquired by File.Pin is not released on every path"
+		return err
+	}
+	if cond {
+		return errors.New("forgot the pin")
+	}
+	r.file.Unpin()
+	return nil
+}
+
+// admitGood mirrors handleDehin: the returned release func is invoked
+// via defer.
+func admitGood(p *Pool) error {
+	rel, err := p.Admit()
+	if err != nil {
+		return err
+	}
+	defer rel()
+	return nil
+}
+
+// admitLeak never calls the release func.
+func admitLeak(p *Pool) error {
+	rel, err := p.Admit() // want "slot acquired by Pool.Admit is not released on every path"
+	if err != nil {
+		return err
+	}
+	_ = rel
+	return nil
+}
+
+// reusedErrName proves error-variable recycling does not mask a leak:
+// the second err check says nothing about the acquire.
+func reusedErrName(p *Pool) error {
+	r, err := p.Get() // want "snap acquired by Pool.Get is not released on every path"
+	if err != nil {
+		return err
+	}
+	err = probe(r)
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+func probe(r *Res) error {
+	if r.n < 0 {
+		return errors.New("negative")
+	}
+	return nil
+}
+
+// loopReacquire acquires and releases per iteration; no obligation
+// survives the loop.
+func loopReacquire(p *Pool, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		r, err := p.Get()
+		if err != nil {
+			continue
+		}
+		total += r.n
+		p.Put(r)
+	}
+	return total
+}

@@ -1,0 +1,161 @@
+// Package shardfix exercises the shardsafety analyzer against the real
+// internal/par entry points: worker closures may write captured slices
+// and maps only through indices derived from their positional bounds,
+// and ad-hoc go literals only through parameters or channel receives.
+package shardfix
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/hinpriv/dehin/internal/par"
+)
+
+// sweepOwned is the canonical sweep: every write indexes through a loop
+// variable derived from lo.
+func sweepOwned(out []float64, n int) {
+	par.Sweep(4, n, 64, func(worker, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = float64(i)
+		}
+	})
+}
+
+// sweepBound writes at hi, the exclusive bound: hi is deliberately not
+// owned, so this is the textbook out-of-shard write.
+func sweepBound(sig []float64, n int) {
+	par.Sweep(4, n, 64, func(worker, lo, hi int) {
+		sig[hi] = 0 // want "par worker closure writes captured .sig. outside its owned shard"
+	})
+}
+
+// sweepConstIndex writes a fixed slot every worker races on.
+func sweepConstIndex(hist []int, n int) {
+	par.Sweep(4, n, 64, func(worker, lo, hi int) {
+		hist[0]++ // want "par worker closure writes captured .hist. outside its owned shard"
+	})
+}
+
+// runSlots aggregates through per-worker slots, the approved idiom.
+func runSlots(n int) int {
+	slots := make([]int, 4)
+	par.Run(4, n, func(worker, i int) {
+		slots[worker] += i
+	})
+	total := 0
+	for _, s := range slots {
+		total += s
+	}
+	return total
+}
+
+// runScalar accumulates into a captured scalar: a data race, slot or
+// atomic required.
+func runScalar(n int) int {
+	total := 0
+	par.Run(4, n, func(worker, i int) {
+		total += i // want "par worker closure writes captured variable .total. without ownership"
+	})
+	return total
+}
+
+// runDerived proves ownership flows through derivation: j comes from i,
+// so writes through j are in-shard.
+func runDerived(out []int, n int) {
+	par.Run(4, n, func(worker, i int) {
+		j := i * 2
+		if j < len(out) {
+			out[j] = i
+		}
+	})
+}
+
+// runLocal writes to closure-local state only; nothing is captured.
+func runLocal(n int) {
+	par.Run(4, n, func(worker, i int) {
+		buf := make([]int, 8)
+		buf[0] = i
+	})
+}
+
+// goFanIn is the loose-rule approved idiom: the goroutine writes only
+// through values it received from the channel.
+func goFanIn(res map[int]bool, ch chan int, done chan struct{}) {
+	go func() {
+		for v := range ch {
+			res[v] = true
+		}
+		close(done)
+	}()
+}
+
+// goParam writes through its own parameter: owned.
+func goParam(out []int, wg *sync.WaitGroup) {
+	for k := 0; k < len(out); k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			out[k] = k
+		}(k)
+	}
+	wg.Wait()
+}
+
+// goAtomicClaim is the chunk-stealing idiom: each goroutine claims a
+// distinct range through an atomic counter, so slots indexed by values
+// derived from the claim (including range variables over the claimed
+// slice) are positionally owned.
+func goAtomicClaim(out []int, order []int, wg *sync.WaitGroup) {
+	var next atomic.Int64
+	chunk := 8
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				start := int(next.Add(int64(chunk))) - chunk
+				if start >= len(order) {
+					return
+				}
+				end := start + chunk
+				if end > len(order) {
+					end = len(order)
+				}
+				for _, idx := range order[start:end] {
+					out[idx] = idx
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// goShared mutates captured state with no ownership token at all.
+func goShared(done chan struct{}) {
+	count := 0
+	go func() {
+		count++ // want "go literal writes captured variable .count. without ownership"
+		close(done)
+	}()
+}
+
+// goLocked opted into mutex ownership; index discipline does not apply.
+func goLocked(mu *sync.Mutex, tally map[string]int, done chan struct{}) {
+	go func() {
+		mu.Lock()
+		tally["hits"]++
+		mu.Unlock()
+		close(done)
+	}()
+}
+
+// allowShared documents a deliberate exception.
+func allowShared(done chan struct{}) bool {
+	flag := false
+	go func() {
+		flag = true //hin:allow shardsafety -- fixture: deliberate unsynchronized write for the suppression test
+		close(done)
+	}()
+	<-done
+	return flag
+}

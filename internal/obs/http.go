@@ -30,7 +30,7 @@ func bridgeExpvar(r *Registry) {
 func (r *Registry) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		_ = r.WritePrometheus(w)
+		_ = r.WritePrometheus(w) //hin:allow errdrop -- a failed scrape response write is the scraper's problem, not ours
 	})
 }
 
@@ -66,6 +66,7 @@ func Serve(addr string, r *Registry) (net.Listener, error) {
 		return nil, err
 	}
 	srv := &http.Server{Handler: NewMux(r)}
-	go func() { _ = srv.Serve(ln) }()
+	//hin:allow goleak -- process-lifetime debug server: it ends when the returned listener is closed
+	go func() { _ = srv.Serve(ln) }() //hin:allow errdrop -- Serve always returns ErrServerClosed after Listener.Close
 	return ln, nil
 }

@@ -236,6 +236,6 @@ func sortSpans(spans []span) {
 // Tree returns WriteTree's output as a string (test convenience).
 func (t *Tracer) Tree(opt TreeOptions) string {
 	var b strings.Builder
-	_ = t.WriteTree(&b, opt)
+	_ = t.WriteTree(&b, opt) //hin:allow errdrop -- strings.Builder writes cannot fail
 	return b.String()
 }

@@ -204,11 +204,11 @@ func (s *Server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	if q.Get("format") == "json" {
 		w.Header().Set("Content-Type", "application/json")
-		_ = s.flight.WriteJSON(w)
+		_ = s.flight.WriteJSON(w) //hin:allow errdrop -- a failed debug-response write is the client's problem
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	_ = s.flight.WriteText(w, trace.TreeOptions{Durations: q.Get("durations") == "1"})
+	_ = s.flight.WriteText(w, trace.TreeOptions{Durations: q.Get("durations") == "1"}) //hin:allow errdrop -- a failed debug-response write is the client's problem
 }
 
 func writeJSON(w http.ResponseWriter, code int, body any) {
@@ -221,7 +221,7 @@ func writeJSON(w http.ResponseWriter, code int, body any) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	w.Write(append(buf, '\n'))
+	w.Write(append(buf, '\n')) //hin:allow errdrop -- the status is already written; a failed body write has no remedy
 }
 
 // queryInt parses an integer query parameter, with def when absent.

@@ -255,7 +255,7 @@ func (s *Server) Load(path string) error {
 	}
 	sn, err := newSnapshot(epoch, path, cf.Graph(), cf, s.cfg)
 	if err != nil {
-		cf.Close()
+		cf.Close() //hin:allow errdrop -- reload failure path: the snapshot error is the one worth surfacing
 		s.met.reloadErrs.Inc()
 		return err
 	}
